@@ -1,0 +1,40 @@
+"""E7 — §V-A.b ablation: alignment optimizations and hints disabled.
+
+"To evaluate the importance of these optimizations, we repeated the above
+experiment with these optimizations and hints disabled.  The impact was
+dramatic ... The average degradation factor is 2.5x across all benchmarks."
+
+Without hints the JIT must use misaligned accesses everywhere (penalized on
+SSE/NEON) and, on AltiVec — which has no misaligned accesses at all —
+whole loops fall back to scalar code, exactly as the paper describes.
+"""
+
+from conftest import once
+from repro.harness import ablation_alignment
+from repro.harness.report import table
+
+
+def test_ablation_alignment(benchmark):
+    out = once(benchmark, lambda: ablation_alignment(targets=("sse", "altivec")))
+    rows = sorted(out["rows"], key=lambda r: -r[2])
+    print()
+    print("Alignment optimizations disabled: per-kernel degradation factor")
+    print(table(["target", "kernel", "slowdown"], rows[:16]))
+    print(f"... ({len(rows)} rows total)")
+    print(f"average degradation: {out['average_degradation']:.2f}x "
+          "(paper: 2.5x)")
+    benchmark.extra_info["average_degradation"] = round(
+        out["average_degradation"], 3
+    )
+    # Paper shape: dramatic average degradation, worst cases are AltiVec
+    # loops that fell all the way back to scalar code.
+    assert out["average_degradation"] > 1.5
+    worst_target, worst_kernel, worst = rows[0]
+    assert worst > 2.5
+    assert worst_target == "altivec"
+    # A few SSE kernels get slightly faster without the hints: there the
+    # peel loop costs more than the misaligned-access penalty it avoids
+    # (a cost-model trade-off real vectorizers also weigh); the effect is
+    # bounded and AltiVec rows all degrade.
+    assert all(r[2] > 0.55 for r in rows)
+    assert all(r[2] > 0.95 for r in rows if r[0] == "altivec")

@@ -1,0 +1,65 @@
+"""Wall-clock benchmarks of the toolchain itself.
+
+Unlike the figure/table benches (which report simulated cycles), these
+measure real Python wall-clock for the pipeline's stages on a
+representative kernel — offline vectorization, bytecode encode/decode, JIT
+compilation, and VM execution — so regressions in the *implementation* are
+visible.  The JIT-time numbers also back the paper's "JIT compile times are
+indeed very small" claim at our scale.
+"""
+
+import pytest
+
+from repro.bytecode import decode_function, encode_function
+from repro.frontend import compile_source
+from repro.jit import MonoJIT, OptimizingJIT
+from repro.kernels import get_kernel
+from repro.machine import VM
+from repro.targets import ALTIVEC, SSE
+from repro.vectorizer import split_config, vectorize_function
+
+
+@pytest.fixture(scope="module")
+def sfir():
+    inst = get_kernel("sfir_fp").instantiate()
+    scalar = compile_source(inst.source)[inst.entry]
+    vec = vectorize_function(scalar, split_config())
+    return inst, scalar, vec
+
+
+def test_offline_vectorize_time(benchmark, sfir):
+    inst, scalar, _ = sfir
+    benchmark(lambda: vectorize_function(scalar, split_config()))
+
+
+def test_bytecode_encode_time(benchmark, sfir):
+    _, _, vec = sfir
+    blob = benchmark(lambda: encode_function(vec))
+    assert len(blob) > 100
+
+
+def test_bytecode_decode_time(benchmark, sfir):
+    _, _, vec = sfir
+    blob = encode_function(vec)
+    benchmark(lambda: decode_function(blob))
+
+
+@pytest.mark.parametrize("jit_cls", [MonoJIT, OptimizingJIT],
+                         ids=["mono", "gcc4cli"])
+def test_jit_compile_time(benchmark, sfir, jit_cls):
+    _, _, vec = sfir
+    ck = benchmark(lambda: jit_cls().compile(vec, SSE))
+    assert ck.stats["minstrs"] > 0
+
+
+@pytest.mark.parametrize("target", [SSE, ALTIVEC], ids=["sse", "altivec"])
+def test_vm_execution_time(benchmark, runner, sfir, target):
+    inst, _, vec = sfir
+    ck = OptimizingJIT().compile(vec, target)
+
+    def run():
+        bufs = runner.make_buffers(inst)
+        return VM(target).run(ck.mfunc, inst.scalar_args, bufs)
+
+    res = benchmark(run)
+    assert res.cycles > 0

@@ -1,0 +1,26 @@
+"""E6 — Table 3: IACA-style static AVX throughput (cycles/iteration).
+
+Regenerates the Table 3 rows: for eight fp kernels, the asymptotic cycles
+per vector-loop iteration on the 256-bit AVX target, native vs split, from
+the static analyzer (no hardware, exactly like the paper's use of Intel's
+SDE+IACA).  Paper shape: 1-6 cycles/iter, split equal or slightly worse
+(induction-variable/addressing differences), never better.
+"""
+
+from conftest import once
+from repro.harness import format_table3, table3
+
+
+def test_table3(benchmark, runner):
+    result = once(benchmark, lambda: table3(runner=runner))
+    print()
+    print(format_table3(result))
+    benchmark.extra_info["rows"] = {
+        k: {"native": n, "split": s} for k, n, s in result.rows
+    }
+    for name, native, split in result.rows:
+        assert 1 <= native <= 6, (name, native)
+        assert native <= split <= native + 3, (name, native, split)
+    # dscal (2 in the paper) stays the cheapest loop.
+    by_name = {k: (n, s) for k, n, s in result.rows}
+    assert by_name["dscal_fp"][0] <= by_name["MMM_fp"][0] + 1

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (see DESIGN.md's
+per-experiment index) and prints the rows the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.flows import FlowRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> FlowRunner:
+    return FlowRunner()
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiment drivers are deterministic and internally cached, so repeated
+    rounds would only measure the cache; a single round reports honest
+    wall-clock for regenerating the artifact.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,99 @@
+"""Adaptive recompilation: the paper's §VII future work in action.
+
+A JIT-managed runtime executes a kernel from portable bytecode, watches the
+arguments it is actually called with, and — once a call shape gets hot —
+recompiles a specialized version with those scalars bound to constants.
+The optimizing JIT then folds the entire split-layer prologue (bounds,
+peel counts, guards) and, for VF-divisible trip counts, deletes the
+epilogue loop outright.
+
+Run:  python examples/adaptive_jit.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import (
+    ArrayBuffer,
+    OptimizingJIT,
+    VM,
+    compile_source,
+    get_target,
+    specialize_scalars,
+    split_config,
+    vectorize_function,
+)
+
+SOURCE = """
+float fir_energy(int n, float x[]) {
+    float e = 0;
+    for (int i = 0; i < n; i++) {
+        e += x[i + 2] * x[i];
+    }
+    return e;
+}
+"""
+
+HOT_THRESHOLD = 3
+
+
+class AdaptiveRuntime:
+    """A miniature method-JIT manager over the split bytecode."""
+
+    def __init__(self, bytecode_fn, target) -> None:
+        self.generic_fn = bytecode_fn
+        self.target = target
+        self.jit = OptimizingJIT()
+        self.generic = self.jit.compile(bytecode_fn, target)
+        self.specialized = {}  # n -> CompiledKernel
+        self.calls = Counter()
+        self.recompilations = 0
+
+    def call(self, n: int, x: np.ndarray) -> tuple[float, float, str]:
+        self.calls[n] += 1
+        compiled, args, tier = self.generic, {"n": n}, "generic"
+        if n in self.specialized:
+            compiled, args, tier = self.specialized[n], {}, "specialized"
+        elif self.calls[n] == HOT_THRESHOLD:
+            spec_fn = specialize_scalars(self.generic_fn, {"n": n})
+            self.specialized[n] = self.jit.compile(spec_fn, self.target)
+            self.recompilations += 1
+            compiled, args, tier = self.specialized[n], {}, "specialized"
+        elem = self.generic_fn.find_array("x").elem
+        bufs = {"x": ArrayBuffer(elem, n + 2, data=x)}
+        res = VM(self.target).run(compiled.mfunc, args, bufs)
+        return float(res.value), res.cycles, tier
+
+
+def main() -> None:
+    module = compile_source(SOURCE)
+    bytecode = vectorize_function(module["fir_energy"], split_config())
+    runtime = AdaptiveRuntime(bytecode, get_target("sse"))
+
+    rng = np.random.default_rng(0)
+    workload = [512] * 6 + [100] * 2 + [512] * 4  # one hot shape, one cold
+    print(f"{'call':>4s} {'n':>5s} {'tier':12s} {'cycles':>8s}")
+    generic_hot = specialized_hot = None
+    for k, n in enumerate(workload):
+        x = rng.standard_normal(n + 2).astype(np.float32)
+        value, cycles, tier = runtime.call(n, x)
+        expect = float((x[2:].astype(np.float64) * x[:-2].astype(np.float64)).sum())
+        assert np.isclose(value, expect, rtol=1e-3)
+        if n == 512:
+            if tier == "generic":
+                generic_hot = cycles
+            else:
+                specialized_hot = cycles
+        print(f"{k:4d} {n:5d} {tier:12s} {cycles:8.0f}")
+    gain = generic_hot / specialized_hot
+    print(
+        f"\nrecompilations: {runtime.recompilations}; hot-shape gain after "
+        f"specialization: {gain:.2f}x (prologue folded, epilogue deleted — "
+        "n=512 divides VF)"
+    )
+    assert gain > 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""The paper's running example (Figures 2 and 3), end to end.
+
+Takes the scalar sum-reduction over a misaligned stream::
+
+    float sum = 0;
+    for (i = 0; i < n; i++) sum += a[i + 2];
+
+prints the *vectorized bytecode* the offline stage produces (the analogue of
+Figure 3a: get_rt / align_load / realign_load with mis=8 mod=32 hints, the
+reduction idioms, loop_bound, and the version guard), then shows how each
+online target lowers the realign_load — the four translation schemes of
+§III-C:
+
+* AltiVec: explicit realignment (lvsr + floor-aligned loads + vperm, with
+  the cross-iteration ``va = vb`` reuse);
+* SSE: implicit realignment (one misaligned load; chain dropped);
+* NEON: VF=2 and, since mis=8 is divisible by VS=8, an *aligned* load;
+* scalar: VF=1, the loop_bound collapse leaves one scalar loop.
+
+Run:  python examples/run_everywhere.py
+"""
+
+import numpy as np
+
+from repro import (
+    ArrayBuffer,
+    OptimizingJIT,
+    VM,
+    compile_source,
+    get_target,
+    split_config,
+    vectorize_function,
+)
+from repro.ir import print_function
+
+SOURCE = """
+float sum_stream(int n, float a[]) {
+    float sum = 0;
+    for (int i = 0; i < n; i++) {
+        sum += a[i + 2];
+    }
+    return sum;
+}
+"""
+
+
+def main() -> None:
+    module = compile_source(SOURCE)
+    scalar_ir = module["sum_stream"]
+    vec_ir = vectorize_function(scalar_ir, split_config())
+
+    print("=" * 72)
+    print("Vectorized bytecode (compare with the paper's Figure 3a)")
+    print("=" * 72)
+    print(print_function(vec_ir))
+
+    n = 203
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal(n + 4).astype(np.float32)
+    expected = float(a[2 : n + 2].sum())
+
+    print()
+    print("=" * 72)
+    print("Per-target lowering of the same bytecode (§III-C)")
+    print("=" * 72)
+    for name in ("altivec", "sse", "neon", "scalar"):
+        target = get_target(name)
+        compiled = OptimizingJIT().compile(vec_ir, target)
+        ops = {}
+        for ins in compiled.mfunc.instrs:
+            if ins.op in ("vperm", "lvsr", "vload_fa", "vload_u", "vload_a",
+                          "load"):
+                ops[ins.op] = ops.get(ins.op, 0) + 1
+        bufs = {"a": ArrayBuffer(scalar_ir.find_array("a").elem, n + 4, data=a)}
+        res = VM(target).run(compiled.mfunc, {"n": n}, bufs)
+        assert np.isclose(float(res.value), expected, rtol=1e-4)
+        vf = target.vf(scalar_ir.find_array("a").elem)
+        scheme = (
+            "explicit realignment (vperm)"
+            if ops.get("vperm")
+            else "misaligned load"
+            if ops.get("vload_u")
+            else "aligned load"
+            if ops.get("vload_a")
+            else "scalarized"
+        )
+        print(
+            f"{name:8s} VF={vf}  scheme: {scheme:30s} "
+            f"mem ops in code: {ops}  cycles={res.cycles:.0f}"
+        )
+    print("\nSame bytecode, four different machine-code shapes — "
+          "'auto-vectorize once, run everywhere'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Vapor SIMD reproduction: auto-vectorize once, run everywhere.
+
+A from-scratch Python implementation of the split-vectorization system of
+Nuzman et al. (CGO 2011): an offline auto-vectorizer that emits portable
+vectorized bytecode over abstract SIMD idioms, and lightweight online
+compilers that materialize it for SSE, AltiVec, NEON, AVX, or scalarize it
+— executed on a cycle-cost virtual machine.
+
+Quick start::
+
+    from repro import compile_source, split_config, vectorize_function
+    from repro import MonoJIT, VM, ArrayBuffer, get_target
+
+    module = compile_source(open("kernel.c").read())
+    bytecode = vectorize_function(module["saxpy"], split_config())
+    target = get_target("sse")
+    compiled = MonoJIT().compile(bytecode, target)
+    result = VM(target).run(compiled.mfunc, {...}, {...})
+"""
+
+from .bytecode import decode_function, decode_module, encode_function, encode_module
+from .frontend import compile_source
+from .harness import FlowRunner, figure5, figure6, table3
+from .jit import MonoJIT, NativeBackend, OptimizingJIT, specialize_scalars
+from .kernels import all_kernels, get_kernel, kernel_names
+from .machine import VM, ArrayBuffer, analyze_loop_throughput
+from .targets import ALTIVEC, AVX, NEON, SCALAR, SSE, TARGETS, get_target
+from .vectorizer import native_config, split_config, vectorize_function, vectorize_module
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_source",
+    "vectorize_function",
+    "vectorize_module",
+    "split_config",
+    "native_config",
+    "encode_function",
+    "decode_function",
+    "encode_module",
+    "decode_module",
+    "MonoJIT",
+    "OptimizingJIT",
+    "NativeBackend",
+    "specialize_scalars",
+    "VM",
+    "ArrayBuffer",
+    "analyze_loop_throughput",
+    "get_target",
+    "TARGETS",
+    "SSE",
+    "ALTIVEC",
+    "NEON",
+    "AVX",
+    "SCALAR",
+    "all_kernels",
+    "get_kernel",
+    "kernel_names",
+    "FlowRunner",
+    "figure5",
+    "figure6",
+    "table3",
+    "__version__",
+]

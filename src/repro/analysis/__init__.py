@@ -1,0 +1,33 @@
+"""Offline analyses: scalar evolution, loop nests, memory references,
+data dependence, reductions, and alignment.
+
+These are the "time-consuming analyses ... carried out by an offline
+compiler" (§II) whose results the split layer encodes as hints for the JIT.
+"""
+
+from .affine import Affine, affine_of
+from .alignment import MisalignmentHint, misalignment_hint
+from .dependence import DepResult, Dependence, dependences_for_loop, test_dependence
+from .loopinfo import LoopInfo, LoopNest, analyze_loops, const_trip_count
+from .memrefs import MemRef, collect_memrefs, linearize
+from .reduction import Reduction, find_reductions
+
+__all__ = [
+    "Affine",
+    "affine_of",
+    "MisalignmentHint",
+    "misalignment_hint",
+    "DepResult",
+    "Dependence",
+    "dependences_for_loop",
+    "test_dependence",
+    "LoopInfo",
+    "LoopNest",
+    "analyze_loops",
+    "const_trip_count",
+    "MemRef",
+    "collect_memrefs",
+    "linearize",
+    "Reduction",
+    "find_reductions",
+]

@@ -1,0 +1,123 @@
+"""Affine (linear) expression analysis — the scalar-evolution core.
+
+Subscript expressions are abstracted as affine forms ``sum(coeff_k * v_k) +
+const`` where each ``v_k`` is either a loop induction variable or an opaque
+symbol (a function parameter, a value computed outside the analyzed scope).
+Dependence distances, access strides and misalignment all fall out of this
+form, exactly as in the classic framework the paper builds on (Allen &
+Kennedy; GCC's scalar evolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import BinOp, BlockArg, Const, Convert, UnOp, Value
+
+__all__ = ["Affine", "affine_of"]
+
+
+@dataclass
+class Affine:
+    """``sum(terms[v] * v) + const``; ``terms`` maps Value -> int coeff."""
+
+    terms: dict[Value, int] = field(default_factory=dict)
+    const: int = 0
+
+    @staticmethod
+    def constant(c: int) -> "Affine":
+        return Affine({}, c)
+
+    @staticmethod
+    def var(v: Value, coeff: int = 1) -> "Affine":
+        return Affine({v: coeff}, 0)
+
+    def __add__(self, other: "Affine") -> "Affine":
+        terms = dict(self.terms)
+        for v, c in other.terms.items():
+            terms[v] = terms.get(v, 0) + c
+            if terms[v] == 0:
+                del terms[v]
+        return Affine(terms, self.const + other.const)
+
+    def __sub__(self, other: "Affine") -> "Affine":
+        return self + other.scaled(-1)
+
+    def scaled(self, k: int) -> "Affine":
+        if k == 0:
+            return Affine.constant(0)
+        return Affine({v: c * k for v, c in self.terms.items()}, self.const * k)
+
+    def coeff(self, v: Value) -> int:
+        return self.terms.get(v, 0)
+
+    def drop(self, v: Value) -> "Affine":
+        """The affine form with ``v``'s term removed."""
+        terms = {u: c for u, c in self.terms.items() if u is not v}
+        return Affine(terms, self.const)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def terms_excluding(self, ivs: set[Value]) -> dict[Value, int]:
+        """Terms over symbols that are not in ``ivs`` (unknowns)."""
+        return {v: c for v, c in self.terms.items() if v not in ivs}
+
+    def same_symbols(self, other: "Affine", ivs: set[Value]) -> bool:
+        """True if both forms have identical non-IV symbolic parts."""
+        return self.terms_excluding(ivs) == other.terms_excluding(ivs)
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v.short()}" for v, c in self.terms.items()]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def affine_of(value: Value, depth: int = 0) -> Affine | None:
+    """Compute the affine form of an integer ``value``, or None.
+
+    Walks the SSA def chain through add/sub/mul-by-constant/shl-by-constant
+    and int-to-int conversions.  Block arguments (induction variables and
+    loop-carried values) and opaque definitions become symbols; the caller
+    decides which symbols are induction variables of interest.
+    """
+    if depth > 64:
+        return None
+    if isinstance(value, Const):
+        if isinstance(value.value, float):
+            return None
+        return Affine.constant(int(value.value))
+    if isinstance(value, BlockArg):
+        return Affine.var(value)
+    if isinstance(value, Convert):
+        if value.type.is_float or value.value.type.is_float:
+            return None
+        inner = affine_of(value.value, depth + 1)
+        return inner
+    if isinstance(value, BinOp):
+        if value.type.is_float:
+            return None
+        lhs = affine_of(value.lhs, depth + 1)
+        rhs = affine_of(value.rhs, depth + 1)
+        if value.op == "add" and lhs and rhs:
+            return lhs + rhs
+        if value.op == "sub" and lhs and rhs:
+            return lhs - rhs
+        if value.op == "mul" and lhs and rhs:
+            if lhs.is_constant:
+                return rhs.scaled(lhs.const)
+            if rhs.is_constant:
+                return lhs.scaled(rhs.const)
+            return Affine.var(value)
+        if value.op == "shl" and lhs and rhs and rhs.is_constant:
+            return lhs.scaled(1 << rhs.const)
+        # Non-affine arithmetic: treat the whole value as an opaque symbol.
+        return Affine.var(value)
+    if isinstance(value, UnOp) and value.op == "neg":
+        inner = affine_of(value.value, depth + 1)
+        if inner is not None:
+            return inner.scaled(-1)
+        return Affine.var(value)
+    # Arguments, loads, loop results, idiom values: opaque symbols.
+    return Affine.var(value)

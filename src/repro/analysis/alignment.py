@@ -1,0 +1,80 @@
+"""Alignment and misalignment analysis (§II.b, §III-B.c of the paper).
+
+For each memory stream accessed by a candidate loop, compute the byte
+misalignment of the first access *relative to the array base*, modulo the
+paper's large hint modulus (32 bytes).  The hint is valid only when the
+misalignment is the same for every vector iteration, i.e. when every term of
+the affine subscript other than the vectorized IV contributes a multiple of
+the modulus (or is a compile-time constant folded into the offset).
+
+The offline compiler cannot know whether the array *base* is aligned — that
+depends on the online environment — so validity is always conditional on a
+``bases_aligned`` version guard, exactly as §III-B.c describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Value
+from ..ir.idioms import MOD_HINT
+from .affine import Affine
+
+__all__ = ["MisalignmentHint", "misalignment_hint"]
+
+
+@dataclass
+class MisalignmentHint:
+    """Misalignment of a memory stream.
+
+    Attributes:
+        mis: byte misalignment of the first lane relative to the array
+            base, modulo ``mod``.
+        mod: the hint modulus (MOD_HINT), or 0 when no static hint exists.
+    """
+
+    mis: int
+    mod: int
+
+    @property
+    def known(self) -> bool:
+        return self.mod != 0
+
+    def aligned_for(self, vector_size: int) -> bool:
+        """True if the stream is VS-aligned given an aligned base."""
+        return self.known and self.mis % vector_size == 0
+
+
+def misalignment_hint(
+    affine: Affine | None,
+    elem_size: int,
+    vector_iv: Value,
+    lower: int | None = 0,
+) -> MisalignmentHint:
+    """Compute the (mis, mod) hint for a stream.
+
+    ``affine`` is the linearized subscript (in elements); ``vector_iv`` the
+    IV of the loop being vectorized; ``lower`` the constant lower bound of
+    that loop, or None when symbolic.
+
+    Validity conditions:
+
+    * the subscript is affine;
+    * the loop lower bound is a known constant (it fixes the first lane);
+    * every other term (outer IVs, parameters) steps in multiples of the
+      modulus — a term with coefficient c is harmless iff
+      ``(c * elem_size) % MOD_HINT == 0``.
+
+    Otherwise ``mod = 0`` (no hint; the online compiler must use runtime
+    realignment or misaligned accesses).
+    """
+    if affine is None or lower is None:
+        return MisalignmentHint(0, 0)
+    offset_elems = affine.const + affine.coeff(vector_iv) * lower
+    for term, coeff in affine.terms.items():
+        if term is vector_iv:
+            continue
+        if (coeff * elem_size) % MOD_HINT != 0:
+            return MisalignmentHint(0, 0)
+    mis = (offset_elems * elem_size) % MOD_HINT
+    return MisalignmentHint(mis, MOD_HINT)

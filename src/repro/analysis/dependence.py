@@ -1,0 +1,208 @@
+"""Data-dependence testing.
+
+Implements the classical dependence tests the paper's offline stage relies
+on (§II.a): ZIV, strong SIV with distance computation, and a GCD/Banerjee
+fallback for multi-index subscripts.  Results are classified with respect to
+one *candidate* loop (the loop being considered for vectorization):
+
+* ``independent`` — no dependence relevant to the candidate loop;
+* ``loop_independent`` — same-iteration dependence (distance 0), preserved
+  by statement-order-preserving vectorization;
+* ``carried`` — carried by the candidate loop with the given distance
+  (None when the distance is not a compile-time constant);
+* ``unknown`` — analysis could not decide; the vectorizer must be
+  conservative (the paper: "refrain from vectorizing", §III-B.b).
+
+Dependences carried by loops *enclosing* the candidate are irrelevant —
+those iterations still execute sequentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+
+from ..ir import Value
+from .memrefs import MemRef
+
+__all__ = ["DepResult", "Dependence", "test_dependence", "dependences_for_loop"]
+
+
+@dataclass
+class DepResult:
+    kind: str  # independent | loop_independent | carried | unknown
+    distance: int | None = None
+
+    def __repr__(self) -> str:
+        if self.kind == "carried":
+            return f"carried(d={self.distance})"
+        return self.kind
+
+
+@dataclass
+class Dependence:
+    """A dependence edge between two references (at least one store)."""
+
+    src: MemRef
+    dst: MemRef
+    result: DepResult
+
+    @property
+    def kind(self) -> str:
+        """flow / anti / output, from the access kinds and lexical order."""
+        first, second = (
+            (self.src, self.dst)
+            if self.src.order <= self.dst.order
+            else (self.dst, self.src)
+        )
+        if first.is_store and second.is_store:
+            return "output"
+        if first.is_store:
+            return "flow"
+        return "anti"
+
+
+def test_dependence(
+    ref1: MemRef,
+    ref2: MemRef,
+    candidate_iv: Value,
+    inner_ivs: set[Value],
+    trip_counts: dict[Value, int] | None = None,
+) -> DepResult:
+    """Test ``ref1`` vs ``ref2`` with respect to ``candidate_iv``.
+
+    ``inner_ivs`` are induction variables of loops nested *inside* the
+    candidate loop (they vary between the two dynamic accesses).
+    ``trip_counts`` optionally bounds inner IVs for a Banerjee-style range
+    refinement.
+    """
+    a1, a2 = ref1.affine, ref2.affine
+    if a1 is None or a2 is None:
+        return DepResult("unknown")
+    varying = set(inner_ivs) | {candidate_iv}
+    # Non-varying symbols (parameters, outer IVs) must agree exactly;
+    # otherwise we cannot relate the two addresses.
+    if not a1.same_symbols(a2, varying):
+        return DepResult("unknown")
+    # Coefficients on every varying IV must match for the distance framing
+    # sum(c_j * d_j) = delta to apply.
+    for iv in varying:
+        if a1.coeff(iv) != a2.coeff(iv):
+            return _gcd_fallback(a1, a2, varying)
+    delta = a1.const - a2.const
+    c_cand = a1.coeff(candidate_iv)
+    inner_coeffs = [a1.coeff(iv) for iv in inner_ivs if a1.coeff(iv) != 0]
+    if not inner_coeffs:
+        if c_cand == 0:
+            # ZIV: addresses identical iff constants match.
+            return (
+                DepResult("loop_independent") if delta == 0 else DepResult("independent")
+            )
+        # Strong SIV.
+        if delta % c_cand != 0:
+            return DepResult("independent")
+        d = delta // c_cand
+        if d == 0:
+            return DepResult("loop_independent")
+        if trip_counts is not None and candidate_iv in trip_counts:
+            if abs(d) >= trip_counts[candidate_iv]:
+                return DepResult("independent")
+        return DepResult("carried", abs(d))
+    # Inner IVs participate: the equation sum(c_j*d_j) = delta couples the
+    # candidate distance with inner-loop distances.
+    all_coeffs = inner_coeffs + ([c_cand] if c_cand else [])
+    if not all_coeffs:
+        return DepResult("loop_independent") if delta == 0 else DepResult("independent")
+    g = gcd(*all_coeffs)
+    if delta % g != 0:
+        return DepResult("independent")
+    if trip_counts is not None:
+        # Banerjee-style range check: can sum(c_j * d_j) = delta with
+        # d_cand != 0?  Bound each inner distance by its trip count.
+        lo = hi = 0
+        bounded = True
+        for iv in inner_ivs:
+            c = a1.coeff(iv)
+            if c == 0:
+                continue
+            if iv not in trip_counts:
+                bounded = False
+                break
+            span = trip_counts[iv] - 1
+            lo += min(c * span, -c * span)
+            hi += max(c * span, -c * span)
+        if bounded and c_cand != 0:
+            # For a carried dep, |d_cand| >= 1, so delta - c_cand*d_cand must
+            # land in [lo, hi] for some d_cand != 0.
+            n_cand = trip_counts.get(candidate_iv)
+            feasible = False
+            max_d = n_cand - 1 if n_cand is not None else 1 << 20
+            for sign in (1, -1):
+                d = 1
+                while d <= max_d:
+                    rem = delta - c_cand * sign * d
+                    if lo <= rem <= hi:
+                        feasible = True
+                        break
+                    # Monotone in d: bail out once past the window.
+                    if (sign * c_cand > 0 and rem < lo) or (
+                        sign * c_cand < 0 and rem > hi
+                    ):
+                        break
+                    d += 1
+                if feasible:
+                    break
+            if not feasible:
+                # No candidate-carried solution; same-iteration solution?
+                return (
+                    DepResult("loop_independent")
+                    if lo <= delta <= hi
+                    else DepResult("independent")
+                )
+    return DepResult("unknown")
+
+
+def _gcd_fallback(a1, a2, varying: set[Value]) -> DepResult:
+    """Different coefficients on varying IVs: only the GCD test applies."""
+    coeffs = []
+    for iv in varying:
+        c1, c2 = a1.coeff(iv), a2.coeff(iv)
+        if c1:
+            coeffs.append(c1)
+        if c2:
+            coeffs.append(c2)
+    delta = a1.const - a2.const
+    if coeffs and delta % gcd(*coeffs) != 0:
+        return DepResult("independent")
+    return DepResult("unknown")
+
+
+def dependences_for_loop(
+    refs: list[MemRef],
+    candidate_iv: Value,
+    inner_ivs: set[Value],
+    trip_counts: dict[Value, int] | None = None,
+) -> list[Dependence]:
+    """All dependence edges among ``refs`` relevant to the candidate loop.
+
+    Pairs on distinct arrays are independent unless *both* arrays are marked
+    ``may_alias`` (the C default of possibly-overlapping pointers); such
+    pairs yield ``unknown`` and the vectorizer must version with a runtime
+    alias check (§III-B.b compares this to "run-time aliasing checks that
+    auto-vectorizing compilers already use").
+    """
+    edges: list[Dependence] = []
+    for i, r1 in enumerate(refs):
+        for r2 in refs[i:]:
+            if not (r1.is_store or r2.is_store):
+                continue
+            if r1.array is not r2.array:
+                if r1.array.may_alias and r2.array.may_alias:
+                    edges.append(Dependence(r1, r2, DepResult("unknown")))
+                continue
+            if r1 is r2:
+                continue
+            result = test_dependence(r1, r2, candidate_iv, inner_ivs, trip_counts)
+            if result.kind != "independent":
+                edges.append(Dependence(r1, r2, result))
+    return edges

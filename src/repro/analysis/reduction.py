@@ -1,0 +1,196 @@
+"""Reduction-cycle detection (§II.a of the paper).
+
+A loop-carried scalar whose only role is ``acc = acc (+|min|max) e`` per
+iteration can be vectorized with the ``init_reduc`` / ``reduc_plus/max/min``
+idioms: partial results accumulate in a vector and are reduced to a scalar
+after the loop.  Detection "does require loop-level def-use analysis, and as
+such is not always suitable for lightweight JIT compilation" — which is
+exactly why it runs offline here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import BinOp, BlockArg, ForLoop, Instr, Value, Yield, walk
+
+__all__ = ["Reduction", "find_reductions"]
+
+#: BinOp opcode -> (reduction kind, identity element for int, for float)
+_REDUC_OPS = {
+    "add": ("plus", 0, 0.0),
+    "min": ("min", None, None),  # identity = type max, filled at use site
+    "max": ("max", None, None),  # identity = type min
+}
+
+
+@dataclass
+class Reduction:
+    """A detected reduction on one loop-carried value.
+
+    Attributes:
+        carried: the loop body's BlockArg for the accumulator.
+        index: position among the loop's carried values.
+        kind: "plus" | "min" | "max".
+        update_chain: the BinOps forming the cycle, in body order; the last
+            one is the value yielded.
+    """
+
+    carried: BlockArg
+    index: int
+    kind: str
+    update_chain: list[BinOp]
+
+    @property
+    def identity(self) -> float:
+        t = self.carried.type
+        if self.kind == "plus":
+            return 0.0 if t.is_float else 0
+        if self.kind == "min":
+            return t.max_value
+        return t.min_value
+
+
+def _select_reduction(carried: BlockArg, final: Value) -> tuple[str, list] | None:
+    """Match the if-converted conditional min/max:
+    ``select(cmp(x, acc), x, acc)`` in any operand/comparison orientation.
+    """
+    from ..ir import Cmp, Select
+
+    if not isinstance(final, Select) or not isinstance(final.cond, Cmp):
+        return None
+    cmp = final.cond
+    t, f = final.if_true, final.if_false
+    if t is carried and f is not carried:
+        x, acc_selected_on_true = f, True
+    elif f is carried and t is not carried:
+        x, acc_selected_on_true = t, False
+    else:
+        return None
+    if _contains(x, carried):
+        return None
+
+    def same(a: Value, b: Value) -> bool:
+        # Syntactic equivalence: the source `if (a[i] > m) m = a[i];` loads
+        # a[i] twice, once for the test and once for the assignment.
+        if a is b:
+            return True
+        from ..ir import Const, Load
+
+        if isinstance(a, Const) and isinstance(b, Const):
+            return a.type == b.type and a.value == b.value
+        if isinstance(a, Load) and isinstance(b, Load):
+            return a.array is b.array and len(a.indices) == len(b.indices) and all(
+                same(i, j) for i, j in zip(a.indices, b.indices)
+            )
+        return False
+
+    # Normalize: which value wins when the comparison holds?
+    if same(cmp.lhs, x) and cmp.rhs is carried:
+        op = cmp.op
+    elif cmp.lhs is carried and same(cmp.rhs, x):
+        op = {"gt": "lt", "lt": "gt", "ge": "le", "le": "ge"}.get(cmp.op)
+        if op is None:
+            return None
+    else:
+        return None
+    # Now the comparison reads "x OP acc".
+    winner_is_x = not acc_selected_on_true
+    if op in ("gt", "ge"):
+        kind = "max" if winner_is_x else "min"
+    elif op in ("lt", "le"):
+        kind = "min" if winner_is_x else "max"
+    else:
+        return None
+    return kind, [cmp, final]
+
+
+def _chain_from(carried: BlockArg, final: Value) -> tuple[str, list[BinOp]] | None:
+    """Match ``final`` as a same-op chain folding ``carried`` exactly once.
+
+    Accepts ``((acc op e1) op e2) ...`` where ``acc`` appears exactly once,
+    at any leaf of the left-leaning chain, and no ``e_k`` uses ``acc``.
+    Also accepts the select-based conditional min/max form.
+    """
+    select_match = _select_reduction(carried, final)
+    if select_match is not None:
+        return select_match
+    if not isinstance(final, BinOp) or final.op not in _REDUC_OPS:
+        return None
+    op = final.op
+    chain: list[BinOp] = []
+    node: Value = final
+    while isinstance(node, BinOp) and node.op == op:
+        chain.append(node)
+        lhs_has = _contains(node.lhs, carried)
+        rhs_has = _contains(node.rhs, carried)
+        if lhs_has and rhs_has:
+            return None
+        if rhs_has and not isinstance(node.rhs, BlockArg):
+            # Keep the chain left-leaning: acc may sit directly on the rhs
+            # leaf, but not buried inside a non-trivial rhs subtree.
+            return None
+        if rhs_has:
+            return _REDUC_OPS[op][0], chain
+        if isinstance(node.lhs, BlockArg) and node.lhs is carried:
+            return _REDUC_OPS[op][0], chain
+        if lhs_has:
+            node = node.lhs
+            continue
+        return None
+    return None
+
+
+def _contains(value: Value, target: BlockArg, depth: int = 0) -> bool:
+    if value is target:
+        return True
+    if depth > 64 or not isinstance(value, Instr):
+        return False
+    return any(_contains(op, target, depth + 1) for op in value.operands)
+
+
+def find_reductions(loop: ForLoop) -> dict[int, Reduction]:
+    """Detect reductions among ``loop``'s carried values.
+
+    Returns a map from carried-value index to :class:`Reduction`.  A carried
+    value qualifies only if (a) its yielded update matches a single-op
+    reduction chain and (b) the accumulator has no other uses in the body
+    (its intermediate values may feed only the chain itself) — uses escaping
+    the chain would observe stale per-lane partial sums.
+    """
+    term = loop.body.terminator
+    if not isinstance(term, Yield):
+        return {}
+    out: dict[int, Reduction] = {}
+    body_instrs = list(walk(loop.body))
+    for index, carried in enumerate(loop.carried):
+        final = term.values[index]
+        match = _chain_from(carried, final)
+        if match is None:
+            continue
+        kind, chain = match
+        chain_set = {id(c) for c in chain}
+        ok = True
+        for instr in body_instrs:
+            if instr is term:
+                continue
+            for op in instr.operands:
+                if op is carried and id(instr) not in chain_set:
+                    ok = False
+                # Intermediate chain values may only feed the next chain link.
+                if (
+                    isinstance(op, BinOp)
+                    and id(op) in chain_set
+                    and id(instr) not in chain_set
+                    and op is not final
+                ):
+                    ok = False
+        # The final chain value must only be yielded (and not otherwise used).
+        for instr in body_instrs:
+            if instr is term:
+                continue
+            if final in instr.operands and id(instr) not in chain_set:
+                ok = False
+        if ok:
+            out[index] = Reduction(carried, index, kind, chain)
+    return out

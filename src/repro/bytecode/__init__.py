@@ -1,0 +1,19 @@
+"""The split layer's bytecode container (the CLI stand-in)."""
+
+from .codec import (
+    MAGIC,
+    FormatError,
+    decode_function,
+    decode_module,
+    encode_function,
+    encode_module,
+)
+
+__all__ = [
+    "encode_function",
+    "decode_function",
+    "encode_module",
+    "decode_module",
+    "MAGIC",
+    "FormatError",
+]

@@ -1,0 +1,146 @@
+"""Low-level binary writer/reader for the Vapor bytecode container.
+
+Varint-based, little-endian, with a tagged value scheme for instruction
+attributes.  Compactness matters: the paper reports vectorized bytecode
+size (~5x scalar) and shows JIT compile time is proportional to it, and we
+reproduce those measurements from real encoded bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["Writer", "Reader", "FormatError"]
+
+
+class FormatError(Exception):
+    """Raised on malformed bytecode."""
+
+
+class Writer:
+    """Appends primitives to a growing byte buffer."""
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def u8(self, v: int) -> None:
+        self.buf.append(v & 0xFF)
+
+    def varint(self, v: int) -> None:
+        """ZigZag varint (handles negative hints like mis offsets)."""
+        z = (v << 1) ^ (v >> 63) if v < 0 else v << 1
+        while True:
+            b = z & 0x7F
+            z >>= 7
+            if z:
+                self.buf.append(b | 0x80)
+            else:
+                self.buf.append(b)
+                return
+
+    def f64(self, v: float) -> None:
+        self.buf.extend(struct.pack("<d", v))
+
+    def string(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        self.varint(len(raw))
+        self.buf.extend(raw)
+
+    def value(self, v) -> None:
+        """Tagged attribute value: int, float, bool, str, None, tuple/list,
+        dict with string keys."""
+        if v is None:
+            self.u8(0)
+        elif isinstance(v, bool):
+            self.u8(1)
+            self.u8(1 if v else 0)
+        elif isinstance(v, int):
+            self.u8(2)
+            self.varint(v)
+        elif isinstance(v, float):
+            self.u8(3)
+            self.f64(v)
+        elif isinstance(v, str):
+            self.u8(4)
+            self.string(v)
+        elif isinstance(v, (tuple, list)):
+            self.u8(5)
+            self.varint(len(v))
+            for item in v:
+                self.value(item)
+        elif isinstance(v, dict):
+            self.u8(6)
+            self.varint(len(v))
+            for k, item in sorted(v.items()):
+                self.string(k)
+                self.value(item)
+        else:
+            raise FormatError(f"unencodable attribute value {v!r}")
+
+    def bytes(self) -> bytes:
+        return bytes(self.buf)
+
+
+class Reader:
+    """Cursor-based reader over an immutable byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def u8(self) -> int:
+        if self.pos >= len(self.data):
+            raise FormatError("truncated bytecode")
+        b = self.data[self.pos]
+        self.pos += 1
+        return b
+
+    def varint(self) -> int:
+        z = 0
+        shift = 0
+        while True:
+            b = self.u8()
+            z |= (b & 0x7F) << shift
+            if not b & 0x80:
+                break
+            shift += 7
+            if shift > 70:
+                raise FormatError("varint too long")
+        return (z >> 1) ^ -(z & 1)
+
+    def f64(self) -> float:
+        raw = self.data[self.pos : self.pos + 8]
+        if len(raw) != 8:
+            raise FormatError("truncated float")
+        self.pos += 8
+        return struct.unpack("<d", raw)[0]
+
+    def string(self) -> str:
+        n = self.varint()
+        raw = self.data[self.pos : self.pos + n]
+        if len(raw) != n:
+            raise FormatError("truncated string")
+        self.pos += n
+        return raw.decode("utf-8")
+
+    def value(self):
+        tag = self.u8()
+        if tag == 0:
+            return None
+        if tag == 1:
+            return bool(self.u8())
+        if tag == 2:
+            return self.varint()
+        if tag == 3:
+            return self.f64()
+        if tag == 4:
+            return self.string()
+        if tag == 5:
+            return tuple(self.value() for _ in range(self.varint()))
+        if tag == 6:
+            return {self.string(): self.value() for _ in range(self.varint())}
+        raise FormatError(f"bad value tag {tag}")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.data)

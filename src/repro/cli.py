@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the toolchain's stages:
+
+* ``compile``  — VaporC source -> vectorized bytecode (.vbc), the offline
+  stage ("auto-vectorize once").
+* ``disasm``   — print the IR of a .vbc container (the Figure 3 view).
+* ``jit``      — lower a .vbc for a target and dump machine code + stats
+  (the online stage, "run everywhere").
+* ``kernels``  — list the built-in benchmark kernels.
+* ``run``      — execute a built-in kernel through one of the Figure 4
+  flows on a target, with correctness checking.
+* ``report``   — regenerate the paper's figures/tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_compile(args) -> int:
+    from .bytecode import encode_module
+    from .frontend import compile_source
+    from .vectorizer import split_config, vectorize_module
+
+    source = open(args.source).read()
+    module = compile_source(source)
+    if args.scalar_only:
+        out_module = module
+    else:
+        cfg = split_config(
+            enable_alignment_opts=not args.no_alignment,
+            enable_slp=not args.no_slp,
+            enable_outer=not args.no_outer,
+        )
+        out_module = vectorize_module(module, cfg)
+        for fn in out_module:
+            report = fn.annotations.get("vect_report", {})
+            for loop, verdict in report.items():
+                print(f"{fn.name}: {loop}: {verdict}")
+    blob = encode_module(out_module)
+    with open(args.output, "wb") as f:
+        f.write(blob)
+    print(f"wrote {args.output}: {len(blob)} bytes, "
+          f"{len(out_module.functions)} function(s)")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from .bytecode import decode_module
+    from .ir import print_function
+
+    module = decode_module(open(args.bytecode, "rb").read())
+    for fn in module:
+        if args.function and fn.name != args.function:
+            continue
+        print(print_function(fn))
+        print()
+    return 0
+
+
+def _cmd_jit(args) -> int:
+    from .bytecode import decode_module
+    from .jit import MonoJIT, OptimizingJIT
+    from .targets import get_target
+
+    module = decode_module(open(args.bytecode, "rb").read())
+    target = get_target(args.target)
+    jit = MonoJIT() if args.compiler == "mono" else OptimizingJIT()
+    for fn in module:
+        if args.function and fn.name != args.function:
+            continue
+        compiled = jit.compile(fn, target)
+        print(compiled.mfunc.dump())
+        stats = ", ".join(f"{k}={v}" for k, v in sorted(compiled.stats.items()))
+        print(f"; target={target.name} compiler={jit.name} "
+              f"compile={compiled.compile_seconds * 1e3:.2f}ms")
+        print(f"; {stats}")
+        print()
+    return 0
+
+
+def _cmd_kernels(args) -> int:
+    from .kernels import all_kernels
+
+    for kernel in all_kernels(args.category):
+        marker = "" if kernel.expect_vectorized else "  [not vectorizable]"
+        print(f"{kernel.name:18s} {kernel.category:10s} "
+              f"{kernel.features}{marker}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .harness import FLOWS, FlowRunner
+    from .kernels import get_kernel
+
+    try:
+        kernel = get_kernel(args.kernel)
+    except KeyError:
+        print(f"unknown kernel {args.kernel!r}; see `kernels`", file=sys.stderr)
+        return 2
+    if args.flow not in FLOWS:
+        print(f"unknown flow {args.flow!r}; one of {sorted(FLOWS)}",
+              file=sys.stderr)
+        return 2
+    runner = FlowRunner()
+    inst = kernel.instantiate(args.size)
+    result = runner.run(inst, args.flow, args.target)
+    print(f"{result.kernel} via {result.flow} on {result.target}: "
+          f"{result.cycles:.0f} cycles "
+          f"({result.bytecode_bytes} bytecode bytes, "
+          f"checked={'yes' if result.checked else 'no'})")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import runpy
+
+    sys.argv = ["paper_figures.py"] + ([args.out] if args.out else [])
+    from .harness import (
+        FlowRunner,
+        figure5,
+        figure6,
+        format_figure5,
+        format_figure6,
+        format_table3,
+        table3,
+    )
+
+    runner = FlowRunner()
+    lines = []
+    targets5 = args.targets.split(",") if args.targets else ["sse", "altivec"]
+    targets6 = args.targets.split(",") if args.targets else [
+        "sse", "altivec", "neon"
+    ]
+    for t in targets5:
+        lines.append(format_figure5(figure5(t, runner=runner)))
+        lines.append("")
+    for t in targets6:
+        lines.append(format_figure6(figure6(t, runner=runner)))
+        lines.append("")
+    lines.append(format_table3(table3(runner=runner)))
+    text = "\n".join(lines)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vapor SIMD split-vectorization toolchain (CGO 2011 "
+        "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="VaporC -> vectorized bytecode")
+    p.add_argument("source", help="VaporC source file")
+    p.add_argument("-o", "--output", default="out.vbc")
+    p.add_argument("--scalar-only", action="store_true",
+                   help="skip the offline vectorizer")
+    p.add_argument("--no-alignment", action="store_true",
+                   help="disable alignment hints/versioning (SV-A.b ablation)")
+    p.add_argument("--no-slp", action="store_true")
+    p.add_argument("--no-outer", action="store_true")
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("disasm", help="print the IR of a .vbc container")
+    p.add_argument("bytecode")
+    p.add_argument("--function")
+    p.set_defaults(func=_cmd_disasm)
+
+    p = sub.add_parser("jit", help="lower bytecode for a target")
+    p.add_argument("bytecode")
+    p.add_argument("--target", default="sse",
+                   help="sse|altivec|neon|avx|vsx|scalar")
+    p.add_argument("--compiler", default="gcc4cli",
+                   choices=["mono", "gcc4cli"])
+    p.add_argument("--function")
+    p.set_defaults(func=_cmd_jit)
+
+    p = sub.add_parser("kernels", help="list built-in benchmark kernels")
+    p.add_argument("--category", choices=["kernel", "polybench"])
+    p.set_defaults(func=_cmd_kernels)
+
+    p = sub.add_parser("run", help="run a built-in kernel through a flow")
+    p.add_argument("kernel")
+    p.add_argument("--flow", default="split_vec_gcc4cli")
+    p.add_argument("--target", default="sse")
+    p.add_argument("--size", type=int, default=None)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("report", help="regenerate the paper's figures/tables")
+    p.add_argument("--out")
+    p.add_argument("--targets", help="comma-separated target list")
+    p.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""VaporC frontend: the C-subset kernel language and its lowering to IR.
+
+The public entry point is :func:`compile_source`, which runs the full
+lex → parse → analyze → lower pipeline and returns a verified IR module.
+"""
+
+from ..ir import Module, verify_function
+from .ast_nodes import Program
+from .lexer import LexError, tokenize
+from .lower import lower_function, lower_program
+from .parser import ParseError, parse
+from .sema import SemaError, analyze
+
+__all__ = [
+    "compile_source",
+    "tokenize",
+    "parse",
+    "analyze",
+    "lower_program",
+    "lower_function",
+    "LexError",
+    "ParseError",
+    "SemaError",
+]
+
+
+def compile_source(source: str, name: str = "module") -> Module:
+    """Compile VaporC source text into a verified scalar IR module."""
+    program: Program = analyze(parse(source))
+    module = lower_program(program, name)
+    for fn in module:
+        verify_function(fn)
+    return module

@@ -1,0 +1,197 @@
+"""Abstract syntax tree for VaporC.
+
+Nodes are plain dataclasses; the semantic analyzer decorates expressions
+with their computed :class:`~repro.ir.types.ScalarType` in ``ctype``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.types import ScalarType
+
+__all__ = [
+    "Node",
+    "Program",
+    "FuncDef",
+    "ScalarParam",
+    "ArrayParam",
+    "BlockStmt",
+    "DeclStmt",
+    "AssignStmt",
+    "ForStmt",
+    "IfStmt",
+    "ReturnStmt",
+    "Expr",
+    "NumLit",
+    "VarExpr",
+    "IndexExpr",
+    "BinExpr",
+    "UnExpr",
+    "TernaryExpr",
+    "CallExpr",
+    "CastExpr",
+]
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    #: filled in by sema: the expression's scalar type.
+    ctype: ScalarType | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class NumLit(Expr):
+    value: float | int = 0
+    is_float: bool = False
+
+
+@dataclass
+class VarExpr(Expr):
+    name: str = ""
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``array[i][j]...`` — ``indices`` has one entry per dimension."""
+
+    name: str = ""
+    indices: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class BinExpr(Expr):
+    op: str = ""
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+@dataclass
+class UnExpr(Expr):
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class TernaryExpr(Expr):
+    cond: Expr | None = None
+    if_true: Expr | None = None
+    if_false: Expr | None = None
+
+
+@dataclass
+class CallExpr(Expr):
+    """Builtin call: abs, min, max (the only callables in VaporC)."""
+
+    callee: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class CastExpr(Expr):
+    to: str = ""
+    operand: Expr | None = None
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class BlockStmt(Node):
+    stmts: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class DeclStmt(Node):
+    """``float s = 0;`` — scalar local declaration with initializer."""
+
+    type_name: str = ""
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass
+class AssignStmt(Node):
+    """``target op= value`` where target is a VarExpr or IndexExpr.
+
+    ``op`` is "" for plain assignment or the compound operator base
+    ("+", "-", "*", ...).
+    """
+
+    target: Expr | None = None
+    op: str = ""
+    value: Expr | None = None
+
+
+@dataclass
+class ForStmt(Node):
+    """Normalized counted loop.
+
+    Parsed from ``for (init; cond; step)``; the parser enforces the
+    countable form: ``iv = lower``, ``iv < upper`` (or ``<=``), and
+    ``iv++`` / ``iv += c``.
+    """
+
+    iv: str = ""
+    iv_decl_type: str | None = None
+    lower: Expr | None = None
+    upper: Expr | None = None
+    inclusive: bool = False
+    step: int = 1
+    body: BlockStmt | None = None
+
+
+@dataclass
+class IfStmt(Node):
+    cond: Expr | None = None
+    then_body: BlockStmt | None = None
+    else_body: BlockStmt | None = None
+
+
+@dataclass
+class ReturnStmt(Node):
+    value: Expr | None = None
+
+
+# -- declarations -------------------------------------------------------------
+
+
+@dataclass
+class ScalarParam(Node):
+    type_name: str = ""
+    name: str = ""
+
+
+@dataclass
+class ArrayParam(Node):
+    """``float a[n]`` / ``float A[128][128]`` / ``__may_alias float p[n]``.
+
+    ``dims`` entries are int constants, parameter names, or None (``[]``,
+    meaning an unknown extent usable only in the outermost dimension).
+    """
+
+    elem_type: str = ""
+    name: str = ""
+    dims: list = field(default_factory=list)
+    may_alias: bool = False
+
+
+@dataclass
+class FuncDef(Node):
+    return_type: str = "void"
+    name: str = ""
+    params: list = field(default_factory=list)
+    body: BlockStmt | None = None
+
+
+@dataclass
+class Program(Node):
+    functions: list[FuncDef] = field(default_factory=list)

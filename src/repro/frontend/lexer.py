@@ -1,0 +1,103 @@
+"""Hand-written lexer for VaporC."""
+
+from __future__ import annotations
+
+from .tokens import KEYWORDS, PUNCT, Token
+
+__all__ = ["tokenize", "LexError"]
+
+
+class LexError(Exception):
+    """Raised on an unrecognized character or malformed literal."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} at {line}:{col}")
+        self.line = line
+        self.col = col
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize VaporC source into a token list ending with an EOF token.
+
+    Handles ``//`` line comments and ``/* */`` block comments.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_line, start_col = line, col
+            is_float = False
+            while i < n and source[i].isdigit():
+                advance(1)
+            if i < n and source[i] == ".":
+                is_float = True
+                advance(1)
+                while i < n and source[i].isdigit():
+                    advance(1)
+            if i < n and source[i] in "eE":
+                is_float = True
+                advance(1)
+                if i < n and source[i] in "+-":
+                    advance(1)
+                if i >= n or not source[i].isdigit():
+                    raise LexError("malformed exponent", line, col)
+                while i < n and source[i].isdigit():
+                    advance(1)
+            if i < n and source[i] in "fF":
+                is_float = True
+                advance(1)
+            text = source[start:i].rstrip("fF")
+            tokens.append(
+                Token("float" if is_float else "int", text, start_line, start_col)
+            )
+            continue
+        for p in PUNCT:
+            if source.startswith(p, i):
+                tokens.append(Token("punct", p, line, col))
+                advance(len(p))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,358 @@
+"""Recursive-descent parser for VaporC."""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    ArrayParam,
+    AssignStmt,
+    BinExpr,
+    BlockStmt,
+    CallExpr,
+    CastExpr,
+    DeclStmt,
+    Expr,
+    ForStmt,
+    FuncDef,
+    IfStmt,
+    IndexExpr,
+    NumLit,
+    Program,
+    ReturnStmt,
+    ScalarParam,
+    TernaryExpr,
+    UnExpr,
+    VarExpr,
+)
+from .lexer import tokenize
+from .tokens import TYPES, Token
+
+__all__ = ["parse", "ParseError"]
+
+_BUILTINS = ("abs", "min", "max", "fabs", "sqrt")
+
+# Binary operator precedence levels, loosest first.
+_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with source position."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} at {token.line}:{token.col} (got {token.text!r})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def at(self, text: str) -> bool:
+        return self.cur.text == text and self.cur.kind in ("punct", "kw")
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.at(text):
+            raise ParseError(f"expected {text!r}", self.cur)
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.cur.kind != "ident":
+            raise ParseError("expected identifier", self.cur)
+        return self.advance().text
+
+    def at_type(self) -> bool:
+        return self.cur.kind == "kw" and self.cur.text in TYPES
+
+    # -- grammar -------------------------------------------------------------
+
+    def program(self) -> Program:
+        functions = []
+        while self.cur.kind != "eof":
+            functions.append(self.func_def())
+        return Program(functions=functions)
+
+    def func_def(self) -> FuncDef:
+        line = self.cur.line
+        if not self.at_type():
+            raise ParseError("expected return type", self.cur)
+        ret = self.advance().text
+        name = self.expect_ident()
+        self.expect("(")
+        params = []
+        if not self.at(")"):
+            params.append(self.param())
+            while self.accept(","):
+                params.append(self.param())
+        self.expect(")")
+        body = self.block()
+        return FuncDef(return_type=ret, name=name, params=params, body=body, line=line)
+
+    def param(self):
+        line = self.cur.line
+        may_alias = self.accept("__may_alias")
+        if not self.at_type():
+            raise ParseError("expected parameter type", self.cur)
+        type_name = self.advance().text
+        name = self.expect_ident()
+        if self.at("["):
+            dims = []
+            while self.accept("["):
+                if self.at("]"):
+                    dims.append(None)
+                elif self.cur.kind == "int":
+                    dims.append(int(self.advance().text))
+                else:
+                    dims.append(self.expect_ident())
+                self.expect("]")
+            return ArrayParam(
+                elem_type=type_name, name=name, dims=dims,
+                may_alias=may_alias, line=line,
+            )
+        if may_alias:
+            raise ParseError("__may_alias applies to array parameters", self.cur)
+        return ScalarParam(type_name=type_name, name=name, line=line)
+
+    def block(self) -> BlockStmt:
+        line = self.cur.line
+        self.expect("{")
+        stmts = []
+        while not self.at("}"):
+            stmts.append(self.statement())
+        self.expect("}")
+        return BlockStmt(stmts=stmts, line=line)
+
+    def statement(self):
+        if self.at("{"):
+            return self.block()
+        if self.at("for"):
+            return self.for_stmt()
+        if self.at("if"):
+            return self.if_stmt()
+        if self.at("return"):
+            line = self.advance().line
+            value = None if self.at(";") else self.expr()
+            self.expect(";")
+            return ReturnStmt(value=value, line=line)
+        if self.at_type():
+            return self.decl_stmt()
+        return self.assign_stmt()
+
+    def decl_stmt(self) -> DeclStmt:
+        line = self.cur.line
+        type_name = self.advance().text
+        name = self.expect_ident()
+        init = None
+        if self.accept("="):
+            init = self.expr()
+        self.expect(";")
+        return DeclStmt(type_name=type_name, name=name, init=init, line=line)
+
+    def assign_stmt(self) -> AssignStmt:
+        line = self.cur.line
+        target = self.postfix_expr()
+        if not isinstance(target, (VarExpr, IndexExpr)):
+            raise ParseError("assignment target must be variable or subscript", self.cur)
+        if self.cur.kind == "punct" and self.cur.text.endswith("=") and self.cur.text not in ("==", "!=", "<=", ">="):
+            op_text = self.advance().text
+            op = op_text[:-1]  # "" for "=", "+" for "+=", "<<" for "<<="
+        elif self.accept("++"):
+            self.expect(";")
+            return AssignStmt(
+                target=target, op="+", value=NumLit(value=1, line=line), line=line
+            )
+        elif self.accept("--"):
+            self.expect(";")
+            return AssignStmt(
+                target=target, op="-", value=NumLit(value=1, line=line), line=line
+            )
+        else:
+            raise ParseError("expected assignment operator", self.cur)
+        value = self.expr()
+        self.expect(";")
+        return AssignStmt(target=target, op=op, value=value, line=line)
+
+    def for_stmt(self) -> ForStmt:
+        line = self.expect("for").line
+        self.expect("(")
+        iv_decl_type = None
+        if self.at_type():
+            iv_decl_type = self.advance().text
+        iv = self.expect_ident()
+        self.expect("=")
+        lower = self.expr()
+        self.expect(";")
+        cond_var = self.expect_ident()
+        if cond_var != iv:
+            raise ParseError(f"loop condition must test {iv!r}", self.cur)
+        if self.accept("<"):
+            inclusive = False
+        elif self.accept("<="):
+            inclusive = True
+        else:
+            raise ParseError("loop condition must be < or <=", self.cur)
+        upper = self.expr()
+        self.expect(";")
+        step = self._loop_step(iv)
+        self.expect(")")
+        body = self.statement()
+        if not isinstance(body, BlockStmt):
+            body = BlockStmt(stmts=[body], line=body.line)
+        return ForStmt(
+            iv=iv, iv_decl_type=iv_decl_type, lower=lower, upper=upper,
+            inclusive=inclusive, step=step, body=body, line=line,
+        )
+
+    def _loop_step(self, iv: str) -> int:
+        step_var = self.expect_ident()
+        if step_var != iv:
+            raise ParseError(f"loop step must update {iv!r}", self.cur)
+        if self.accept("++"):
+            return 1
+        if self.accept("+="):
+            if self.cur.kind != "int":
+                raise ParseError("loop step must be an integer constant", self.cur)
+            return int(self.advance().text)
+        if self.accept("="):
+            # i = i + c
+            base = self.expect_ident()
+            if base != iv:
+                raise ParseError("loop step must be iv + constant", self.cur)
+            self.expect("+")
+            if self.cur.kind != "int":
+                raise ParseError("loop step must be an integer constant", self.cur)
+            return int(self.advance().text)
+        raise ParseError("unsupported loop step", self.cur)
+
+    def if_stmt(self) -> IfStmt:
+        line = self.expect("if").line
+        self.expect("(")
+        cond = self.expr()
+        self.expect(")")
+        then_body = self.statement()
+        if not isinstance(then_body, BlockStmt):
+            then_body = BlockStmt(stmts=[then_body], line=then_body.line)
+        else_body = None
+        if self.accept("else"):
+            else_body = self.statement()
+            if not isinstance(else_body, BlockStmt):
+                else_body = BlockStmt(stmts=[else_body], line=else_body.line)
+        return IfStmt(cond=cond, then_body=then_body, else_body=else_body, line=line)
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self) -> Expr:
+        return self.ternary()
+
+    def ternary(self) -> Expr:
+        cond = self.binary(0)
+        if self.accept("?"):
+            if_true = self.expr()
+            self.expect(":")
+            if_false = self.ternary()
+            return TernaryExpr(
+                cond=cond, if_true=if_true, if_false=if_false, line=cond.line
+            )
+        return cond
+
+    def binary(self, level: int) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self.unary()
+        lhs = self.binary(level + 1)
+        while self.cur.kind == "punct" and self.cur.text in _PRECEDENCE[level]:
+            # Don't swallow `>` of a template-like context — not in VaporC;
+            # but avoid treating `>=`-style compounds here (lexer handles).
+            op = self.advance().text
+            rhs = self.binary(level + 1)
+            lhs = BinExpr(op=op, lhs=lhs, rhs=rhs, line=lhs.line)
+        return lhs
+
+    def unary(self) -> Expr:
+        tok = self.cur
+        if self.accept("-"):
+            return UnExpr(op="-", operand=self.unary(), line=tok.line)
+        if self.accept("!"):
+            return UnExpr(op="!", operand=self.unary(), line=tok.line)
+        if self.accept("~"):
+            return UnExpr(op="~", operand=self.unary(), line=tok.line)
+        if self.accept("+"):
+            return self.unary()
+        if self.at("(") and self.peek().kind == "kw" and self.peek().text in TYPES:
+            self.expect("(")
+            to = self.advance().text
+            self.expect(")")
+            return CastExpr(to=to, operand=self.unary(), line=tok.line)
+        return self.postfix_expr()
+
+    def postfix_expr(self) -> Expr:
+        tok = self.cur
+        if self.accept("("):
+            inner = self.expr()
+            self.expect(")")
+            expr = inner
+        elif tok.kind == "int":
+            self.advance()
+            expr = NumLit(value=int(tok.text), is_float=False, line=tok.line)
+        elif tok.kind == "float":
+            self.advance()
+            expr = NumLit(value=float(tok.text), is_float=True, line=tok.line)
+        elif tok.kind == "ident":
+            name = self.advance().text
+            if self.at("(") and name in _BUILTINS:
+                self.expect("(")
+                args = []
+                if not self.at(")"):
+                    args.append(self.expr())
+                    while self.accept(","):
+                        args.append(self.expr())
+                self.expect(")")
+                expr = CallExpr(callee=name, args=args, line=tok.line)
+            else:
+                expr = VarExpr(name=name, line=tok.line)
+        else:
+            raise ParseError("expected expression", tok)
+        while self.at("["):
+            if not isinstance(expr, (VarExpr, IndexExpr)):
+                raise ParseError("subscript of non-array", self.cur)
+            name = expr.name
+            indices = expr.indices if isinstance(expr, IndexExpr) else []
+            self.expect("[")
+            indices = indices + [self.expr()]
+            self.expect("]")
+            expr = IndexExpr(name=name, indices=indices, line=tok.line)
+        return expr
+
+
+def parse(source: str) -> Program:
+    """Parse VaporC source text into an AST."""
+    return _Parser(tokenize(source)).program()

@@ -1,0 +1,47 @@
+"""Token definitions for the VaporC kernel language.
+
+VaporC is the C subset the paper's kernels are written in: typed function
+definitions, counted ``for`` loops, array subscripts, scalar arithmetic,
+``if``/``else`` and a few intrinsic-like builtins (``abs``, ``min``, ``max``).
+It is what GCC's vectorizer would see after loop-nest normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "KEYWORDS", "TYPES", "PUNCT"]
+
+#: Type keywords, mapped to IR scalar types by the semantic analyzer.
+TYPES = ("void", "char", "short", "int", "long", "float", "double")
+
+KEYWORDS = TYPES + ("for", "if", "else", "return", "__may_alias",)
+
+#: Multi-character punctuation must precede its prefixes.
+PUNCT = (
+    "<<=", ">>=",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "[", "]", "{", "}", ",", ";", "?", ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    Attributes:
+        kind: "ident", "int", "float", "punct", "kw", or "eof".
+        text: the lexeme.
+        line: 1-based source line, for diagnostics.
+        col: 1-based source column.
+    """
+
+    kind: str
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"

@@ -1,0 +1,39 @@
+"""Experiment harness: the Figure 4 flows and per-figure/table drivers."""
+
+from .experiments import (
+    TABLE3_KERNELS,
+    Figure5Result,
+    Figure6Result,
+    Table3Result,
+    ablation_alignment,
+    ablation_dependence_hints,
+    ablation_realign_reuse,
+    compile_time_stats,
+    figure5,
+    figure6,
+    scalarization_overhead,
+    table3,
+)
+from .flows import FLOWS, FlowResult, FlowRunner
+from .report import format_figure5, format_figure6, format_table3
+
+__all__ = [
+    "FlowRunner",
+    "FlowResult",
+    "FLOWS",
+    "figure5",
+    "figure6",
+    "table3",
+    "TABLE3_KERNELS",
+    "Figure5Result",
+    "Figure6Result",
+    "Table3Result",
+    "ablation_alignment",
+    "ablation_realign_reuse",
+    "ablation_dependence_hints",
+    "compile_time_stats",
+    "scalarization_overhead",
+    "format_figure5",
+    "format_figure6",
+    "format_table3",
+]

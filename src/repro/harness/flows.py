@@ -1,0 +1,214 @@
+"""The compilation flows of the paper's Figure 4.
+
+Letters follow the figure as used in the evaluation ratios:
+
+* **A** — scalar bytecode executed by the Mono-like JIT;
+* **C** — vectorized bytecode executed by the Mono-like JIT;
+* **D** — vectorized bytecode compiled by the gcc4cli-like online compiler;
+* **E** — native scalar compilation;
+* **F** — native (monolithic) vectorized compilation.
+
+(The scalar-bytecode-through-gcc4cli flow is also provided for the
+low-scalar-overhead claim.)  Each flow compiles a kernel instance, executes
+it on the cycle-cost VM, checks the results against the numpy reference,
+and reports cycles plus compile-time/bytecode statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from ..bytecode import decode_function, encode_function
+from ..frontend import compile_source
+from ..ir import Function
+from ..jit import CompiledKernel, MonoJIT, NativeBackend, OptimizingJIT
+from ..kernels import Kernel, KernelInstance, get_kernel
+from ..machine import VM, ArrayBuffer
+from ..targets import Target, get_target
+from ..vectorizer import native_config, split_config, vectorize_function
+
+__all__ = ["FlowResult", "FlowRunner", "FLOWS"]
+
+#: flow name -> (offline form, online compiler class)
+FLOWS = {
+    "split_scalar_mono": ("scalar", MonoJIT),
+    "split_vec_mono": ("split", MonoJIT),
+    "split_scalar_gcc4cli": ("scalar", OptimizingJIT),
+    "split_vec_gcc4cli": ("split", OptimizingJIT),
+    "native_scalar": ("scalar", NativeBackend),
+    "native_vec": ("native", NativeBackend),
+}
+
+
+@dataclass
+class FlowResult:
+    """One kernel execution under one flow."""
+
+    kernel: str
+    flow: str
+    target: str
+    cycles: float
+    value: object
+    compile_seconds: float
+    bytecode_bytes: int
+    checked: bool
+    stats: dict = field(default_factory=dict)
+
+
+class CheckError(AssertionError):
+    """A flow produced results that disagree with the numpy reference."""
+
+
+class FlowRunner:
+    """Compiles and runs kernels through the Figure 4 flows, with caching.
+
+    ``base_misalign`` controls the simulated base alignment of every array
+    (0 = the JIT/native runtime aligns allocations, the default story).
+    ``vectorizer_overrides`` feed the ablation experiments (e.g.
+    ``enable_alignment_opts=False`` for §V-A.b).
+    """
+
+    def __init__(
+        self,
+        base_misalign: int = 0,
+        check: bool = True,
+        vectorizer_overrides: dict | None = None,
+        use_bytecode_roundtrip: bool = True,
+    ) -> None:
+        self.base_misalign = base_misalign
+        self.check = check
+        self.vectorizer_overrides = dict(vectorizer_overrides or {})
+        self.use_bytecode_roundtrip = use_bytecode_roundtrip
+        self._scalar_cache: dict = {}
+        self._split_cache: dict = {}
+        self._native_cache: dict = {}
+        self._compiled_cache: dict = {}
+
+    # -- offline stage --------------------------------------------------------
+
+    def scalar_ir(self, instance: KernelInstance) -> Function:
+        key = (instance.name, instance.size)
+        if key not in self._scalar_cache:
+            module = compile_source(instance.source, instance.name)
+            self._scalar_cache[key] = module[instance.entry]
+        return self._scalar_cache[key]
+
+    def split_ir(self, instance: KernelInstance) -> Function:
+        key = (instance.name, instance.size)
+        if key not in self._split_cache:
+            cfg = split_config(**self.vectorizer_overrides)
+            vec = vectorize_function(self.scalar_ir(instance), cfg)
+            if self.use_bytecode_roundtrip:
+                vec = decode_function(encode_function(vec))
+            self._split_cache[key] = vec
+        return self._split_cache[key]
+
+    def native_ir(self, instance: KernelInstance, target: Target) -> Function:
+        key = (instance.name, instance.size, target.name)
+        if key not in self._native_cache:
+            overrides = dict(self.vectorizer_overrides)
+            overrides.pop("assume_noalias", None)
+            cfg = native_config(target, **overrides)
+            self._native_cache[key] = vectorize_function(
+                self.scalar_ir(instance), cfg
+            )
+        return self._native_cache[key]
+
+    def bytecode_sizes(self, instance: KernelInstance) -> tuple[int, int]:
+        """(scalar, vectorized) encoded byte sizes for this kernel."""
+        return (
+            len(encode_function(self.scalar_ir(instance))),
+            len(encode_function(self.split_ir(instance))),
+        )
+
+    # -- online stage ----------------------------------------------------------
+
+    def compiled(
+        self, instance: KernelInstance, flow: str, target: Target
+    ) -> CompiledKernel:
+        key = (instance.name, instance.size, flow, target.name)
+        if key not in self._compiled_cache:
+            form, jit_cls = FLOWS[flow]
+            if form == "scalar":
+                ir = self.scalar_ir(instance)
+            elif form == "split":
+                ir = self.split_ir(instance)
+            else:
+                ir = self.native_ir(instance, target)
+            self._compiled_cache[key] = jit_cls().compile(ir, target)
+        return self._compiled_cache[key]
+
+    # -- execution ---------------------------------------------------------
+
+    def make_buffers(self, instance: KernelInstance) -> dict[str, ArrayBuffer]:
+        fn = self.scalar_ir(instance)
+        bufs: dict[str, ArrayBuffer] = {}
+        for arr in fn.array_params:
+            data = instance.arrays[arr.name]
+            bufs[arr.name] = ArrayBuffer(
+                arr.elem, int(np.asarray(data).size),
+                base_misalign=self.base_misalign,
+                data=np.asarray(data),
+            )
+        return bufs
+
+    def run(
+        self, instance: KernelInstance, flow: str, target: Target | str
+    ) -> FlowResult:
+        if isinstance(target, str):
+            target = get_target(target)
+        ck = self.compiled(instance, flow, target)
+        bufs = self.make_buffers(instance)
+        result = VM(target).run(ck.mfunc, instance.scalar_args, bufs)
+        checked = False
+        if self.check:
+            self.verify(instance, bufs, result.value)
+            checked = True
+        scalar_bytes, vec_bytes = self.bytecode_sizes(instance)
+        form = FLOWS[flow][0]
+        return FlowResult(
+            kernel=instance.name,
+            flow=flow,
+            target=target.name,
+            cycles=result.cycles,
+            value=result.value,
+            compile_seconds=ck.compile_seconds,
+            bytecode_bytes=scalar_bytes if form == "scalar" else vec_bytes,
+            checked=checked,
+            stats=dict(ck.stats),
+        )
+
+    def verify(self, instance: KernelInstance, bufs, value) -> None:
+        kernel = instance.kernel
+        for name, expected in instance.expected_arrays.items():
+            got = bufs[name].read_elements().reshape(np.asarray(expected).shape)
+            expected = np.asarray(expected)
+            if expected.dtype.kind == "f":
+                if not np.allclose(got, expected, rtol=kernel.rtol, atol=1e-5):
+                    worst = np.abs(got - expected).max()
+                    raise CheckError(
+                        f"{instance.name}: array {name} mismatch "
+                        f"(max abs err {worst})"
+                    )
+            else:
+                diff = np.abs(got.astype(np.int64) - expected.astype(np.int64))
+                if diff.max() > kernel.int_atol:
+                    raise CheckError(
+                        f"{instance.name}: array {name} mismatch "
+                        f"(max abs err {diff.max()})"
+                    )
+        if instance.expected_return is not None:
+            exp = instance.expected_return
+            if isinstance(exp, float):
+                if not np.isclose(float(value), exp, rtol=kernel.rtol):
+                    raise CheckError(
+                        f"{instance.name}: return {value} != {exp}"
+                    )
+            else:
+                if int(value) != int(exp):
+                    raise CheckError(
+                        f"{instance.name}: return {value} != {exp}"
+                    )

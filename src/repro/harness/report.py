@@ -1,0 +1,76 @@
+"""ASCII report formatting for the experiment drivers.
+
+These renderers produce the figure/table layouts the paper reports, used by
+``python -m repro.harness`` and by EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_figure5", "format_figure6", "format_table3", "bar", "table"]
+
+
+def bar(value: float, scale: float = 20.0, maximum: float = 3.0) -> str:
+    """A crude ASCII bar for figure-style rows."""
+    filled = int(min(value, maximum) / maximum * scale)
+    return "#" * filled
+
+
+def table(headers: list[str], rows: list[tuple], floatfmt: str = "{:.2f}") -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered = [
+        [floatfmt.format(c) if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_figure5(result) -> str:
+    """Render a Figure5Result the way the paper plots it."""
+    lines = [
+        f"Figure 5 ({result.target.upper()}): Mono JIT normalized "
+        "vectorization impact, (A/C)/(E/F), higher is better",
+        "",
+    ]
+    rows = [(k, v, bar(v)) for k, v in result.rows]
+    lines.append(table(["kernel", "impact", ""], rows))
+    lines.append("")
+    lines.append(f"arithmetic mean: {result.arith_mean:.2f}")
+    return "\n".join(lines)
+
+
+def format_figure6(result) -> str:
+    """Render a Figure6Result (normalized times, lower is better)."""
+    lines = [
+        f"Figure 6 ({result.target.upper()}): split-vectorized execution "
+        "time normalized to native (D/F), lower is better",
+        "",
+    ]
+    rows = [(k, v, bar(v, maximum=2.0)) for k, v in result.rows]
+    lines.append(table(["kernel", "normalized", ""], rows))
+    lines.append("")
+    lines.append(f"harmonic mean: {result.harmonic_mean:.2f}")
+    return "\n".join(lines)
+
+
+def format_table3(result) -> str:
+    """Render the Table 3 rows (IACA cycles per iteration)."""
+    lines = [
+        "Table 3: IACA-style AVX simulation, cycles per vector-loop "
+        "iteration",
+        "",
+        table(
+            ["kernel", "native", "split"],
+            [(k, str(n), str(s)) for k, n, s in result.rows],
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Typed, structured intermediate representation shared by both compilation
+stages of the split-vectorization pipeline.
+
+The scalar subset (arithmetic, loads/stores, counted loops with iteration
+arguments) is what the frontend produces; the vector subset adds the
+Table 1 split-layer idioms of the Vapor SIMD paper (:mod:`repro.ir.idioms`).
+"""
+
+from .builder import IRBuilder
+from .idioms import (
+    MOD_HINT,
+    ALoad,
+    AlignLoad,
+    CvtIntFp,
+    DotProduct,
+    Extract,
+    GetAlignLimit,
+    GetRT,
+    GetVF,
+    IdiomInstr,
+    InitAffine,
+    InitPattern,
+    InitReduc,
+    InitUniform,
+    Interleave,
+    LoopBound,
+    Pack,
+    RealignLoad,
+    Reduce,
+    Unpack,
+    VersionGuard,
+    VStore,
+    WidenMult,
+)
+from .instructions import (
+    BINARY_OPS,
+    CMP_OPS,
+    COMMUTATIVE_OPS,
+    UNARY_OPS,
+    BinOp,
+    Cmp,
+    Convert,
+    Instr,
+    Load,
+    Select,
+    Store,
+    UnOp,
+)
+from .printer import print_block, print_function, print_module
+from .structure import (
+    Block,
+    ForLoop,
+    Function,
+    If,
+    IfResult,
+    LoopResult,
+    Module,
+    Return,
+    Yield,
+)
+from .traversal import clone_block, clone_function, clone_instr, uses_in, walk, walk_blocks
+from .types import (
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    SCALAR_TYPES,
+    ScalarType,
+    Type,
+    VectorType,
+    narrowed,
+    scalar_type_from_name,
+    widened,
+)
+from .values import Argument, ArrayRef, BlockArg, Const, Value
+from .verifier import VerificationError, verify_function
+
+__all__ = [
+    # types
+    "ScalarType", "VectorType", "Type", "I8", "I16", "I32", "I64", "F32",
+    "F64", "BOOL", "SCALAR_TYPES", "widened", "narrowed",
+    "scalar_type_from_name",
+    # values
+    "Value", "Const", "Argument", "ArrayRef", "BlockArg",
+    # instructions
+    "Instr", "BinOp", "UnOp", "Cmp", "Select", "Convert", "Load", "Store",
+    "BINARY_OPS", "UNARY_OPS", "CMP_OPS", "COMMUTATIVE_OPS",
+    # idioms
+    "IdiomInstr", "GetVF", "GetAlignLimit", "InitUniform", "InitAffine",
+    "InitReduc", "InitPattern", "Reduce", "DotProduct", "WidenMult", "Pack", "Unpack",
+    "CvtIntFp", "Extract", "Interleave", "ALoad", "AlignLoad", "GetRT",
+    "RealignLoad", "VStore", "LoopBound", "VersionGuard", "MOD_HINT",
+    # structure
+    "Block", "Yield", "ForLoop", "LoopResult", "If", "IfResult", "Return",
+    "Function", "Module",
+    # utilities
+    "IRBuilder", "walk", "walk_blocks", "clone_block", "clone_instr", "clone_function",
+    "uses_in", "print_function", "print_module", "print_block",
+    "verify_function", "VerificationError",
+]

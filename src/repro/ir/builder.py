@@ -1,0 +1,132 @@
+"""Convenience builder for constructing IR, used by the frontend, the
+vectorizer's code generation, and tests."""
+
+from __future__ import annotations
+
+from .instructions import BinOp, Cmp, Convert, Load, Select, Store, UnOp
+from .structure import Block, ForLoop, If, Return, Yield
+from .types import I32, ScalarType, Type
+from .values import ArrayRef, Const, Value
+
+__all__ = ["IRBuilder"]
+
+
+class IRBuilder:
+    """Appends instructions to a current block; supports nesting helpers."""
+
+    def __init__(self, block: Block | None = None) -> None:
+        self.block = block
+        self._stack: list[Block] = []
+
+    # -- insertion point management ------------------------------------
+
+    def set_block(self, block: Block) -> None:
+        self.block = block
+
+    def push(self, block: Block) -> None:
+        self._stack.append(self.block)
+        self.block = block
+
+    def pop(self) -> None:
+        self.block = self._stack.pop()
+
+    def emit(self, instr):
+        """Append any pre-built instruction and return it."""
+        assert self.block is not None, "no insertion block set"
+        return self.block.append(instr)
+
+    # -- constants -------------------------------------------------------
+
+    def const(self, value, type: ScalarType = I32) -> Const:
+        return Const(value, type)
+
+    # -- arithmetic -------------------------------------------------------
+
+    def binop(self, op: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.emit(BinOp(op, lhs, rhs, name))
+
+    def add(self, lhs, rhs, name=""):
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name=""):
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name=""):
+        return self.binop("mul", lhs, rhs, name)
+
+    def div(self, lhs, rhs, name=""):
+        return self.binop("div", lhs, rhs, name)
+
+    def mod(self, lhs, rhs, name=""):
+        return self.binop("mod", lhs, rhs, name)
+
+    def min(self, lhs, rhs, name=""):
+        return self.binop("min", lhs, rhs, name)
+
+    def max(self, lhs, rhs, name=""):
+        return self.binop("max", lhs, rhs, name)
+
+    def shl(self, lhs, rhs, name=""):
+        return self.binop("shl", lhs, rhs, name)
+
+    def shr(self, lhs, rhs, name=""):
+        return self.binop("shr", lhs, rhs, name)
+
+    def neg(self, value, name=""):
+        return self.emit(UnOp("neg", value, name))
+
+    def abs(self, value, name=""):
+        return self.emit(UnOp("abs", value, name))
+
+    def cmp(self, op: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.emit(Cmp(op, lhs, rhs, name))
+
+    def select(self, cond, if_true, if_false, name=""):
+        return self.emit(Select(cond, if_true, if_false, name))
+
+    def convert(self, value: Value, to: ScalarType, name: str = "") -> Value:
+        if value.type == to:
+            return value
+        return self.emit(Convert(value, to, name))
+
+    # -- memory -------------------------------------------------------
+
+    def load(self, array: ArrayRef, indices: list[Value], name: str = "") -> Value:
+        return self.emit(Load(array, list(indices), name))
+
+    def store(self, array: ArrayRef, indices: list[Value], value: Value) -> Value:
+        return self.emit(Store(array, list(indices), value))
+
+    # -- control flow ------------------------------------------------------
+
+    def for_loop(
+        self,
+        lower: Value,
+        upper: Value,
+        step: Value | int = 1,
+        init_values: list[Value] | None = None,
+        iv_name: str = "i",
+        kind: str = "scalar",
+    ) -> ForLoop:
+        """Create a ForLoop, append it, and return it (body still empty).
+
+        Use ``push(loop.body)`` / ``pop()`` to populate the body, then call
+        :meth:`end_loop` with the values to carry to the next iteration.
+        """
+        if isinstance(step, int):
+            step = Const(step, I32)
+        loop = ForLoop(lower, upper, step, list(init_values or []), iv_name, kind)
+        return self.emit(loop)
+
+    def end_loop(self, loop: ForLoop, yields: list[Value]) -> None:
+        if len(yields) != len(loop.carried):
+            raise ValueError(
+                f"loop carries {len(loop.carried)} values, yielded {len(yields)}"
+            )
+        loop.body.append(Yield(list(yields)))
+
+    def if_op(self, cond: Value, result_types: list[Type] | None = None) -> If:
+        return self.emit(If(cond, result_types))
+
+    def ret(self, value: Value | None = None) -> Return:
+        return self.emit(Return(value))

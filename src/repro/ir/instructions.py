@@ -1,0 +1,262 @@
+"""Scalar and generic instructions of the Vapor IR.
+
+These are the instructions that both the scalar bytecode and (with vector
+operand types) the vectorized bytecode use.  The SIMD-specific idioms of the
+paper's Table 1 live in :mod:`repro.ir.idioms`.
+
+Every instruction is a :class:`~repro.ir.values.Value` (its own result).
+Instructions expose their operands through ``operands`` / ``set_operand`` so
+generic rewriting utilities (cloning, constant folding, DCE) need no
+per-class knowledge.
+"""
+
+from __future__ import annotations
+
+from .types import BOOL, ScalarType, Type, VectorType
+from .values import ArrayRef, Value
+
+__all__ = [
+    "Instr",
+    "BinOp",
+    "UnOp",
+    "Cmp",
+    "Select",
+    "Convert",
+    "Load",
+    "Store",
+    "BINARY_OPS",
+    "UNARY_OPS",
+    "CMP_OPS",
+    "COMMUTATIVE_OPS",
+]
+
+#: Binary opcodes.  ``min``/``max`` are first-class because SIMD ISAs have
+#: them and the sad/abs patterns rely on them.
+BINARY_OPS = (
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "mod",
+    "min",
+    "max",
+    "and",
+    "or",
+    "xor",
+    "shl",
+    "shr",
+)
+
+UNARY_OPS = ("neg", "abs", "not", "sqrt")
+
+CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+COMMUTATIVE_OPS = frozenset({"add", "mul", "min", "max", "and", "or", "xor"})
+
+
+class Instr(Value):
+    """Base instruction: an operation producing (at most) one value."""
+
+    #: printer mnemonic; subclasses override or synthesize it.
+    mnemonic = "instr"
+
+    def __init__(self, type: Type, operands: list[Value], name: str = "") -> None:
+        super().__init__(type, name)
+        self._operands = list(operands)
+
+    @property
+    def operands(self) -> list[Value]:
+        return self._operands
+
+    def set_operand(self, index: int, value: Value) -> None:
+        self._operands[index] = value
+
+    def replace_uses(self, mapping: dict[Value, Value]) -> None:
+        """Redirect any operand found in ``mapping`` to its replacement."""
+        for i, op in enumerate(self._operands):
+            if op in mapping:
+                self._operands[i] = mapping[op]
+
+    @property
+    def has_side_effects(self) -> bool:
+        """True if the instruction must not be dead-code eliminated."""
+        return False
+
+    def attrs(self) -> dict:
+        """Printer/encoder attributes beyond operands (opcode, hints...)."""
+        return {}
+
+    def __repr__(self) -> str:
+        ops = ", ".join(o.short() for o in self._operands)
+        return f"{self.short()} = {self.mnemonic} {ops}"
+
+
+class BinOp(Instr):
+    """Elementwise binary arithmetic; works on scalars and vectors.
+
+    Both operands must share the instruction's type (the verifier checks).
+    """
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.op = op
+
+    mnemonic = property(lambda self: self.op)  # type: ignore[assignment]
+
+    @property
+    def lhs(self) -> Value:
+        return self._operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self._operands[1]
+
+    def attrs(self) -> dict:
+        return {"op": self.op}
+
+
+class UnOp(Instr):
+    """Elementwise unary arithmetic (neg, abs, bitwise not)."""
+
+    def __init__(self, op: str, value: Value, name: str = "") -> None:
+        if op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {op!r}")
+        super().__init__(value.type, [value], name)
+        self.op = op
+
+    mnemonic = property(lambda self: self.op)  # type: ignore[assignment]
+
+    @property
+    def value(self) -> Value:
+        return self._operands[0]
+
+    def attrs(self) -> dict:
+        return {"op": self.op}
+
+
+class Cmp(Instr):
+    """Comparison producing a boolean (or boolean vector for vector args)."""
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if op not in CMP_OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        if isinstance(lhs.type, VectorType):
+            # Vector comparisons produce a lane mask with the operand's
+            # shape (SIMD ISAs keep mask width == data width).
+            result: Type = lhs.type
+        else:
+            result = BOOL
+        super().__init__(result, [lhs, rhs], name)
+        self.op = op
+
+    mnemonic = property(lambda self: "cmp_" + self.op)  # type: ignore[assignment]
+
+    @property
+    def lhs(self) -> Value:
+        return self._operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self._operands[1]
+
+    def attrs(self) -> dict:
+        return {"op": self.op}
+
+
+class Select(Instr):
+    """``cond ? if_true : if_false`` — the result of if-conversion."""
+
+    mnemonic = "select"
+
+    def __init__(
+        self, cond: Value, if_true: Value, if_false: Value, name: str = ""
+    ) -> None:
+        super().__init__(if_true.type, [cond, if_true, if_false], name)
+
+    @property
+    def cond(self) -> Value:
+        return self._operands[0]
+
+    @property
+    def if_true(self) -> Value:
+        return self._operands[1]
+
+    @property
+    def if_false(self) -> Value:
+        return self._operands[2]
+
+
+class Convert(Instr):
+    """Scalar type conversion (sign extension, truncation, int<->float)."""
+
+    mnemonic = "convert"
+
+    def __init__(self, value: Value, to: ScalarType, name: str = "") -> None:
+        super().__init__(to, [value], name)
+        self.to = to
+
+    @property
+    def value(self) -> Value:
+        return self._operands[0]
+
+    def attrs(self) -> dict:
+        return {"to": self.to.name}
+
+
+class Load(Instr):
+    """Scalar load ``array[indices...]``.
+
+    Indices are scalar i32 values, one per array dimension.
+    """
+
+    mnemonic = "load"
+
+    def __init__(self, array: ArrayRef, indices: list[Value], name: str = "") -> None:
+        if len(indices) != array.rank:
+            raise ValueError(
+                f"load from {array.name}: {len(indices)} indices for rank "
+                f"{array.rank}"
+            )
+        super().__init__(array.elem, [array, *indices], name)
+
+    @property
+    def array(self) -> ArrayRef:
+        return self._operands[0]  # type: ignore[return-value]
+
+    @property
+    def indices(self) -> list[Value]:
+        return self._operands[1:]
+
+
+class Store(Instr):
+    """Scalar store ``array[indices...] = value``.  Produces no usable value."""
+
+    mnemonic = "store"
+
+    def __init__(
+        self, array: ArrayRef, indices: list[Value], value: Value, name: str = ""
+    ) -> None:
+        if len(indices) != array.rank:
+            raise ValueError(
+                f"store to {array.name}: {len(indices)} indices for rank "
+                f"{array.rank}"
+            )
+        super().__init__(array.elem, [array, *indices, value], name)
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+    @property
+    def array(self) -> ArrayRef:
+        return self._operands[0]  # type: ignore[return-value]
+
+    @property
+    def indices(self) -> list[Value]:
+        return self._operands[1:-1]
+
+    @property
+    def value(self) -> Value:
+        return self._operands[-1]

@@ -1,0 +1,118 @@
+"""Textual IR printer.
+
+Produces a readable, stable rendering used by tests, debugging, and the
+examples (the run-everywhere example prints the vectorized bytecode the way
+Figure 3 of the paper does).
+"""
+
+from __future__ import annotations
+
+from .instructions import Instr
+from .structure import Block, ForLoop, Function, If, Module, Return, Yield
+from .values import ArrayRef, Const, Value
+
+__all__ = ["print_function", "print_module", "print_block"]
+
+
+class _Namer:
+    def __init__(self) -> None:
+        self.names: dict[int, str] = {}
+        self.counter = 0
+
+    def name(self, v: Value) -> str:
+        if isinstance(v, Const):
+            return repr(v.value)
+        if isinstance(v, ArrayRef):
+            return f"@{v.name}"
+        if v.id not in self.names:
+            base = v.name or "v"
+            self.names[v.id] = f"%{base}{self.counter}"
+            self.counter += 1
+        return self.names[v.id]
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in attrs.items())
+    return f" {{{inner}}}"
+
+
+def _print_instr(instr: Instr, namer: _Namer, indent: int, out: list[str]) -> None:
+    pad = "  " * indent
+    if isinstance(instr, ForLoop):
+        inits = ", ".join(
+            f"{namer.name(c)} = {namer.name(i)}"
+            for c, i in zip(instr.carried, instr.init_values)
+        )
+        head = (
+            f"{pad}for {namer.name(instr.iv)} in [{namer.name(instr.lower)}, "
+            f"{namer.name(instr.upper)}) step {namer.name(instr.step)}"
+        )
+        if inits:
+            head += f" carrying ({inits})"
+        head += f" kind={instr.kind} {{"
+        out.append(head)
+        _print_block(instr.body, namer, indent + 1, out)
+        out.append(f"{pad}}}")
+        for r in instr.results:
+            out.append(f"{pad}# {namer.name(r)} = result {r.index}")
+    elif isinstance(instr, If):
+        out.append(f"{pad}if {namer.name(instr.cond)} {{")
+        _print_block(instr.then_block, namer, indent + 1, out)
+        if instr.else_block.instrs:
+            out.append(f"{pad}}} else {{")
+            _print_block(instr.else_block, namer, indent + 1, out)
+        out.append(f"{pad}}}")
+        for r in instr.results:
+            out.append(f"{pad}# {namer.name(r)} = if-result {r.index}")
+    elif isinstance(instr, Yield):
+        vals = ", ".join(namer.name(v) for v in instr.values)
+        out.append(f"{pad}yield {vals}")
+    elif isinstance(instr, Return):
+        v = f" {namer.name(instr.value)}" if instr.value is not None else ""
+        out.append(f"{pad}return{v}")
+    else:
+        ops = ", ".join(namer.name(o) for o in instr.operands)
+        out.append(
+            f"{pad}{namer.name(instr)}: {instr.type} = "
+            f"{instr.mnemonic}({ops}){_fmt_attrs(instr.attrs())}"
+        )
+
+
+def _print_block(block: Block, namer: _Namer, indent: int, out: list[str]) -> None:
+    for instr in block.instrs:
+        _print_instr(instr, namer, indent, out)
+
+
+def print_block(block: Block) -> str:
+    """Render one block (used for loop-body snippets in tests/docs)."""
+    namer = _Namer()
+    out: list[str] = []
+    _print_block(block, namer, 0, out)
+    return "\n".join(out)
+
+
+def print_function(fn: Function) -> str:
+    """Render a whole function with its signature and form."""
+    namer = _Namer()
+    out: list[str] = []
+    scalars = ", ".join(f"{namer.name(p)}: {p.type}" for p in fn.scalar_params)
+    arrays = ", ".join(
+        f"@{a.name}: {a.elem}"
+        + "".join(
+            f"[{e if isinstance(e, int) else namer.name(e)}]" for e in a.shape
+        )
+        for a in fn.array_params
+    )
+    ret = f" -> {fn.return_type}" if fn.return_type else ""
+    sig = "; ".join(s for s in (scalars, arrays) if s)
+    out.append(f"func {fn.name}({sig}){ret} form={fn.form} {{")
+    _print_block(fn.body, namer, 1, out)
+    out.append("}")
+    return "\n".join(out)
+
+
+def print_module(module: Module) -> str:
+    """Render every function of a module."""
+    return "\n\n".join(print_function(fn) for fn in module)

@@ -1,0 +1,265 @@
+"""Structured control flow: blocks, loops, conditionals, functions.
+
+The IR is *structured* (MLIR-style) rather than CFG-based: loops and
+conditionals are first-class nested regions.  This matches how the paper's
+offline vectorizer sees code — normalized countable loop nests — and keeps
+the dependence/vectorization machinery tractable while the online compiler
+flattens everything to branchy machine code.
+
+Loop-carried scalar state (reduction accumulators and the like) is expressed
+with *iteration arguments*: a :class:`ForLoop` owns a body :class:`Block`
+whose first argument is the induction variable and whose remaining arguments
+carry values across iterations; the block's trailing :class:`Yield` supplies
+the next iteration's values; the loop's :class:`LoopResult` values are the
+final carried values.
+"""
+
+from __future__ import annotations
+
+from .instructions import Instr
+from .types import I32, Type
+from .values import BlockArg, Value
+
+__all__ = [
+    "Block",
+    "Yield",
+    "ForLoop",
+    "LoopResult",
+    "If",
+    "IfResult",
+    "Return",
+    "Function",
+    "Module",
+]
+
+
+class Block:
+    """A straight-line sequence of instructions with optional arguments."""
+
+    def __init__(self, args: list[BlockArg] | None = None) -> None:
+        self.args: list[BlockArg] = list(args or [])
+        self.instrs: list[Instr] = []
+
+    def append(self, instr: Instr) -> Instr:
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def terminator(self) -> Instr | None:
+        """The trailing Yield/Return, if present."""
+        if self.instrs and isinstance(self.instrs[-1], (Yield, Return)):
+            return self.instrs[-1]
+        return None
+
+    def __iter__(self):
+        return iter(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+class Yield(Instr):
+    """Terminator carrying loop-carried / if-result values to the parent."""
+
+    mnemonic = "yield"
+
+    def __init__(self, values: list[Value]) -> None:
+        super().__init__(I32, list(values))
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+    @property
+    def values(self) -> list[Value]:
+        return self._operands
+
+
+class ForLoop(Instr):
+    """A counted loop ``for (iv = lower; iv < upper; iv += step)``.
+
+    Operands are ``[lower, upper, step, *init_values]``.  The ``body``
+    block's args are ``[iv, *carried]``.  ``step`` is a Value so the
+    vectorized form can step by the JIT-materialized ``get_VF`` result.
+
+    Attributes:
+        kind: "scalar" for source loops, "vector" for the main vectorized
+            loop, "peel" / "epilogue" for the alignment-peel and remainder
+            loops the vectorizer creates, "inner" for loops nested inside an
+            outer-vectorized loop.
+        annotations: free-form analysis/codegen notes (e.g. trip count).
+    """
+
+    mnemonic = "for"
+
+    def __init__(
+        self,
+        lower: Value,
+        upper: Value,
+        step: Value,
+        init_values: list[Value],
+        iv_name: str = "i",
+        kind: str = "scalar",
+    ) -> None:
+        super().__init__(I32, [lower, upper, step, *init_values])
+        self.body = Block(args=[BlockArg(iv_name, I32, 0)])
+        for k, init in enumerate(init_values):
+            self.body.args.append(BlockArg(f"{iv_name}.carry{k}", init.type, k + 1))
+        self.results = [
+            LoopResult(self, k, init.type) for k, init in enumerate(init_values)
+        ]
+        self.kind = kind
+        self.annotations: dict = {}
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+    @property
+    def lower(self) -> Value:
+        return self._operands[0]
+
+    @property
+    def upper(self) -> Value:
+        return self._operands[1]
+
+    @property
+    def step(self) -> Value:
+        return self._operands[2]
+
+    @property
+    def init_values(self) -> list[Value]:
+        return self._operands[3:]
+
+    @property
+    def iv(self) -> BlockArg:
+        return self.body.args[0]
+
+    @property
+    def carried(self) -> list[BlockArg]:
+        return self.body.args[1:]
+
+    def attrs(self) -> dict:
+        return {"kind": self.kind}
+
+    def __repr__(self) -> str:
+        return (
+            f"for {self.iv.short()} in [{self.lower.short()}, "
+            f"{self.upper.short()}) step {self.step.short()} "
+            f"carried={len(self.carried)} kind={self.kind}"
+        )
+
+
+class LoopResult(Value):
+    """The final value of a loop-carried variable after the loop."""
+
+    def __init__(self, loop: ForLoop, index: int, type: Type) -> None:
+        super().__init__(type, f"{loop.iv.name}.out{index}")
+        self.loop = loop
+        self.index = index
+
+
+class If(Instr):
+    """A structured conditional, optionally yielding values.
+
+    Used both for source-level conditionals and for the vectorizer's
+    loop-versioning (guarded by :class:`~repro.ir.idioms.VersionGuard`).
+    """
+
+    mnemonic = "if"
+
+    def __init__(self, cond: Value, result_types: list[Type] | None = None) -> None:
+        super().__init__(I32, [cond])
+        self.then_block = Block()
+        self.else_block = Block()
+        self.results = [
+            IfResult(self, k, t) for k, t in enumerate(result_types or [])
+        ]
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+    @property
+    def cond(self) -> Value:
+        return self._operands[0]
+
+    def __repr__(self) -> str:
+        return f"if {self.cond.short()} then[{len(self.then_block)}] else[{len(self.else_block)}]"
+
+
+class IfResult(Value):
+    """A value yielded by both arms of an :class:`If`."""
+
+    def __init__(self, if_op: If, index: int, type: Type) -> None:
+        super().__init__(type, f"if.out{index}")
+        self.if_op = if_op
+        self.index = index
+
+
+class Return(Instr):
+    """Function return; ``value`` may be None for void kernels."""
+
+    mnemonic = "return"
+
+    def __init__(self, value: Value | None = None) -> None:
+        super().__init__(I32, [value] if value is not None else [])
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+    @property
+    def value(self) -> Value | None:
+        return self._operands[0] if self._operands else None
+
+
+class Function:
+    """A kernel: scalar parameters, array parameters, and a body block."""
+
+    def __init__(
+        self,
+        name: str,
+        scalar_params: list,
+        array_params: list,
+        return_type=None,
+    ) -> None:
+        self.name = name
+        self.scalar_params = list(scalar_params)
+        self.array_params = list(array_params)
+        self.return_type = return_type
+        self.body = Block()
+        #: set by the vectorizer: "vector" bytecode vs "scalar" bytecode.
+        self.form = "scalar"
+        self.annotations: dict = {}
+
+    @property
+    def params(self) -> list:
+        return self.scalar_params + self.array_params
+
+    def find_array(self, name: str):
+        for a in self.array_params:
+            if a.name == name:
+                return a
+        raise KeyError(name)
+
+    def __repr__(self) -> str:
+        return f"Function({self.name}, form={self.form})"
+
+
+class Module:
+    """A compilation unit: a set of functions."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+
+    def add(self, fn: Function) -> Function:
+        self.functions[fn.name] = fn
+        return fn
+
+    def __getitem__(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __iter__(self):
+        return iter(self.functions.values())

@@ -1,0 +1,108 @@
+"""Generic IR traversal and cloning utilities.
+
+The vectorizer and the optimization passes both need to (a) walk every
+instruction in a nested region tree and (b) clone blocks while remapping
+values — e.g. when the vectorizer creates peel/main/epilogue copies of a
+loop, or when loop versioning duplicates a whole nest.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from collections.abc import Iterator
+
+from . import values as _values
+from .instructions import Instr
+from .structure import Block, ForLoop, If, IfResult, LoopResult
+from .values import BlockArg, Value
+
+__all__ = ["walk", "walk_blocks", "clone_block", "clone_instr", "clone_function", "uses_in"]
+
+
+def walk(block: Block) -> Iterator[Instr]:
+    """Yield every instruction in ``block`` and nested regions, pre-order."""
+    for instr in block.instrs:
+        yield instr
+        if isinstance(instr, ForLoop):
+            yield from walk(instr.body)
+        elif isinstance(instr, If):
+            yield from walk(instr.then_block)
+            yield from walk(instr.else_block)
+
+
+def walk_blocks(block: Block) -> Iterator[Block]:
+    """Yield ``block`` and every nested block, pre-order."""
+    yield block
+    for instr in block.instrs:
+        if isinstance(instr, ForLoop):
+            yield from walk_blocks(instr.body)
+        elif isinstance(instr, If):
+            yield from walk_blocks(instr.then_block)
+            yield from walk_blocks(instr.else_block)
+
+
+def clone_instr(instr: Instr, vmap: dict[Value, Value]) -> Instr:
+    """Clone one instruction, remapping operands through ``vmap``.
+
+    Nested regions (loops/ifs) are cloned recursively; the clone's block
+    arguments and results are entered into ``vmap`` so later uses remap.
+    The original instruction is also mapped to its clone.
+    """
+    new = _copy.copy(instr)
+    new._operands = [vmap.get(op, op) for op in instr.operands]
+    new.id = next(_values._ids)
+    if isinstance(instr, ForLoop):
+        assert isinstance(new, ForLoop)
+        new.body = Block()
+        new.annotations = dict(instr.annotations)
+        for arg in instr.body.args:
+            narg = BlockArg(arg.name, arg.type, arg.index)
+            new.body.args.append(narg)
+            vmap[arg] = narg
+        new.results = [LoopResult(new, r.index, r.type) for r in instr.results]
+        for old_r, new_r in zip(instr.results, new.results):
+            vmap[old_r] = new_r
+        _clone_into(instr.body, new.body, vmap)
+    elif isinstance(instr, If):
+        assert isinstance(new, If)
+        new.then_block = Block()
+        new.else_block = Block()
+        new.results = [IfResult(new, r.index, r.type) for r in instr.results]
+        for old_r, new_r in zip(instr.results, new.results):
+            vmap[old_r] = new_r
+        _clone_into(instr.then_block, new.then_block, vmap)
+        _clone_into(instr.else_block, new.else_block, vmap)
+    vmap[instr] = new
+    return new
+
+
+def _clone_into(src: Block, dst: Block, vmap: dict[Value, Value]) -> None:
+    for instr in src.instrs:
+        dst.append(clone_instr(instr, vmap))
+
+
+def clone_block(block: Block, vmap: dict[Value, Value]) -> Block:
+    """Clone a block's instructions (not its args), remapping via ``vmap``."""
+    out = Block()
+    _clone_into(block, out, vmap)
+    return out
+
+
+def clone_function(fn, form: str | None = None):
+    """Deep-clone a function (sharing parameters, which are SSA leaves)."""
+    from .structure import Function
+
+    out = Function(fn.name, fn.scalar_params, fn.array_params, fn.return_type)
+    out.body = clone_block(fn.body, {})
+    out.form = form if form is not None else fn.form
+    out.annotations = dict(fn.annotations)
+    return out
+
+
+def uses_in(block: Block) -> dict[Value, list[Instr]]:
+    """Map each value to the instructions (anywhere under ``block``) using it."""
+    uses: dict[Value, list[Instr]] = {}
+    for instr in walk(block):
+        for op in instr.operands:
+            uses.setdefault(op, []).append(instr)
+    return uses

@@ -1,0 +1,18 @@
+"""The online compilation stage: materialization of the split layer and the
+two JIT personalities (Mono-like, gcc4cli-like)."""
+
+from .compilers import CompiledKernel, MonoJIT, NativeBackend, OptimizingJIT
+from .materialize import MaterializeError, MaterializeOptions, materialize
+from .specialize import SpecializationError, specialize_scalars
+
+__all__ = [
+    "CompiledKernel",
+    "MonoJIT",
+    "OptimizingJIT",
+    "NativeBackend",
+    "materialize",
+    "MaterializeOptions",
+    "MaterializeError",
+    "specialize_scalars",
+    "SpecializationError",
+]

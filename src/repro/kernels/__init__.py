@@ -1,0 +1,12 @@
+"""The benchmark kernels: Table 2's suite plus PolyBench 1.0."""
+
+from . import media, polybench  # noqa: F401  (register kernels)
+from .suite import Kernel, KernelInstance, all_kernels, get_kernel, kernel_names
+
+__all__ = [
+    "Kernel",
+    "KernelInstance",
+    "all_kernels",
+    "get_kernel",
+    "kernel_names",
+]

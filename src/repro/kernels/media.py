@@ -1,0 +1,648 @@
+"""The Table 2 auto-vectorization kernel suite.
+
+Sixteen kernels exercising the full feature matrix the paper lists:
+widening multiplication (dissolve_s8), abs+reduction (sad_s8), dot-product
+(sfir_s16), strided access (interp_*), SLP (mix_streams_s16), 2-D reduction
+(convolve_s32), outer-loop vectorization with int<->fp conversion
+(alvinn_s32fp, dct_s32fp), plain fp loops, matrix multiply, and the BLAS
+pairs in single and double precision (the doubles scalarize on AltiVec and
+NEON, §V-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .suite import Kernel, register
+
+__all__ = []
+
+_i8 = np.int8
+_i16 = np.int16
+_i32 = np.int32
+_f32 = np.float32
+_f64 = np.float64
+
+
+# ---------------------------------------------------------------------------
+# dissolve_s8 — video image dissolve (widening multiplication)
+# ---------------------------------------------------------------------------
+
+def _dissolve_s8_src(n: int) -> str:
+    return """
+void dissolve_s8(int n, int w, char a[], char b[], char out[]) {
+    for (int i = 0; i < n; i++) {
+        out[i] = (char)(((short)a[i] * (short)w
+                       + (short)b[i] * (short)(16 - w)) >> 4);
+    }
+}
+"""
+
+
+def _dissolve_s8_data(n, rng):
+    return (
+        {"n": n, "w": 5},
+        {
+            "a": rng.integers(-100, 100, n).astype(_i8),
+            "b": rng.integers(-100, 100, n).astype(_i8),
+            "out": np.zeros(n, _i8),
+        },
+    )
+
+
+def _dissolve_s8_ref(n, args, arrays):
+    a16 = arrays["a"].astype(_i16)
+    b16 = arrays["b"].astype(_i16)
+    w = args["w"]
+    out = ((a16 * w + b16 * (16 - w)) >> 4).astype(_i8)
+    return {"out": out}, None
+
+
+register(
+    Kernel(
+        "dissolve_s8", "dissolve_s8",
+        "video image dissolve (widening multiplication)", "kernel",
+        _dissolve_s8_src, _dissolve_s8_data, _dissolve_s8_ref, 512,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# sad_s8 — sum of absolute differences over blocks (abs pattern, reduction,
+# runtime alias versioning: the arrays are may-alias pointers)
+# ---------------------------------------------------------------------------
+
+def _sad_s8_src(nb: int) -> str:
+    # Per-block SAD with a stored residual map.  The three buffers are
+    # may-alias pointers (as in real codecs that slide windows over one
+    # frame), so the offline compiler must emit a no_alias version guard
+    # that no online compiler can fold — the paper's sad versioning
+    # penalty (SV-B: "When that is not the case (e.g., sad), performance
+    # is degraded").
+    return """
+int sad_s8(int nb, __may_alias char a[], __may_alias char b[],
+           __may_alias int d[]) {
+    int sum = 0;
+    for (int blk = 0; blk < nb; blk++) {
+        for (int k = 0; k < 16; k++) {
+            int v = abs((int)a[16*blk + k] - (int)b[16*blk + k]);
+            d[16*blk + k] = v;
+            sum += v;
+        }
+    }
+    return sum;
+}
+"""
+
+
+def _sad_s8_data(nb, rng):
+    n = 16 * nb
+    return (
+        {"nb": nb},
+        {
+            "a": rng.integers(-128, 128, n).astype(_i8),
+            "b": rng.integers(-128, 128, n).astype(_i8),
+            "d": np.zeros(n, _i32),
+        },
+    )
+
+
+def _sad_s8_ref(nb, args, arrays):
+    d = np.abs(arrays["a"].astype(_i32) - arrays["b"].astype(_i32))
+    return {"d": d}, int(d.sum())
+
+
+register(
+    Kernel(
+        "sad_s8", "sad_s8",
+        "sum of absolute differences (abs pattern, reduction)", "kernel",
+        _sad_s8_src, _sad_s8_data, _sad_s8_ref, 32,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# sfir_s16 — single-sample FIR (dot-product)
+# ---------------------------------------------------------------------------
+
+def _sfir_s16_src(n: int) -> str:
+    return """
+int sfir_s16(int n, short a[], short c[]) {
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+        sum += (int)a[i] * (int)c[i];
+    }
+    return sum;
+}
+"""
+
+
+def _sfir_s16_data(n, rng):
+    return (
+        {"n": n},
+        {
+            "a": rng.integers(-400, 400, n).astype(_i16),
+            "c": rng.integers(-400, 400, n).astype(_i16),
+        },
+    )
+
+
+def _sfir_s16_ref(n, args, arrays):
+    return {}, int(
+        (arrays["a"].astype(_i32) * arrays["c"].astype(_i32)).sum()
+    )
+
+
+register(
+    Kernel(
+        "sfir_s16", "sfir_s16", "single sample FIR (dot-product)", "kernel",
+        _sfir_s16_src, _sfir_s16_data, _sfir_s16_ref, 512,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# interp_s16 — rate-2 interpolation (strided access)
+# ---------------------------------------------------------------------------
+
+def _interp_s16_src(n: int) -> str:
+    return """
+void interp_s16(int n, short a[], short out[]) {
+    for (int i = 0; i < n; i++) {
+        out[2*i] = a[i];
+        out[2*i + 1] = (short)((a[i] + a[i+1]) >> 1);
+    }
+}
+"""
+
+
+def _interp_s16_data(n, rng):
+    return (
+        {"n": n},
+        {
+            "a": rng.integers(-1000, 1000, n + 1).astype(_i16),
+            "out": np.zeros(2 * n, _i16),
+        },
+    )
+
+
+def _interp_s16_ref(n, args, arrays):
+    a = arrays["a"]
+    out = np.zeros(2 * n, _i16)
+    out[0::2] = a[:n]
+    out[1::2] = (a[:n] + a[1 : n + 1]) >> 1
+    return {"out": out}, None
+
+
+register(
+    Kernel(
+        "interp_s16", "interp_s16",
+        "rate-2 interpolation (strided access, dot-product)", "kernel",
+        _interp_s16_src, _interp_s16_data, _interp_s16_ref, 512,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# mix_streams_s16 — mix four audio channels (SLP vectorization)
+# ---------------------------------------------------------------------------
+
+def _mix_streams_src(n: int) -> str:
+    return """
+void mix_streams_s16(int n, short in[], short out[]) {
+    for (int i = 0; i < n; i++) {
+        out[4*i + 0] = (short)((in[4*i + 0] * 9) >> 4);
+        out[4*i + 1] = (short)((in[4*i + 1] * 5) >> 4);
+        out[4*i + 2] = (short)((in[4*i + 2] * 12) >> 4);
+        out[4*i + 3] = (short)((in[4*i + 3] * 3) >> 4);
+    }
+}
+"""
+
+
+def _mix_streams_data(n, rng):
+    return (
+        {"n": n},
+        {
+            "in": rng.integers(-1000, 1000, 4 * n).astype(_i16),
+            "out": np.zeros(4 * n, _i16),
+        },
+    )
+
+
+def _mix_streams_ref(n, args, arrays):
+    gains = np.array([9, 5, 12, 3], _i16)
+    frames = arrays["in"].reshape(-1, 4)
+    out = ((frames * gains) >> 4).astype(_i16).ravel()
+    return {"out": out}, None
+
+
+register(
+    Kernel(
+        "mix_streams_s16", "mix_streams_s16",
+        "mix four audio channels (SLP vectorization)", "kernel",
+        _mix_streams_src, _mix_streams_data, _mix_streams_ref, 128,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# convolve_s32 — 2-D convolution (reduction; outer-loop vectorized columns)
+# ---------------------------------------------------------------------------
+
+_CONV_W = 64
+_CONV_H = 16
+
+
+def _convolve_s32_src(n: int) -> str:
+    return f"""
+void convolve_s32(int rows, int kern[4],
+                  int img[{_CONV_H}][{_CONV_W}], int out[{_CONV_H}][{_CONV_W}]) {{
+    for (int r = 0; r < rows; r++) {{
+        for (int c = 0; c < {_CONV_W}; c++) {{
+            int s = 0;
+            for (int k = 0; k < 4; k++) {{
+                s += img[r + k][c] * kern[k];
+            }}
+            out[r][c] = s;
+        }}
+    }}
+}}
+"""
+
+
+def _convolve_s32_data(n, rng):
+    img = rng.integers(-50, 50, (_CONV_H, _CONV_W)).astype(_i32)
+    kern = rng.integers(-4, 5, 4).astype(_i32)
+    return (
+        {"rows": _CONV_H - 4},
+        {"kern": kern, "img": img, "out": np.zeros((_CONV_H, _CONV_W), _i32)},
+    )
+
+
+def _convolve_s32_ref(n, args, arrays):
+    img = arrays["img"]
+    kern = arrays["kern"]
+    rows = args["rows"]
+    out = np.zeros((_CONV_H, _CONV_W), _i32)
+    for r in range(rows):
+        acc = np.zeros(_CONV_W, _i32)
+        for k in range(4):
+            acc += img[r + k] * kern[k]
+        out[r] = acc
+    return {"out": out}, None
+
+
+register(
+    Kernel(
+        "convolve_s32", "convolve_s32", "2D convolution (reduction)", "kernel",
+        _convolve_s32_src, _convolve_s32_data, _convolve_s32_ref, 0,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# alvinn_s32fp — neural-net layer (outer-loop vectorization, int+fp)
+# ---------------------------------------------------------------------------
+
+_ALV_IN = 32
+
+
+def _alvinn_src(n: int) -> str:
+    return f"""
+void alvinn_s32fp(int n, float w[{_ALV_IN}][{n}], float in[{_ALV_IN}],
+                  float hidden[{n}], int qout[{n}]) {{
+    for (int i = 0; i < n; i++) {{
+        float s = 0;
+        for (int j = 0; j < {_ALV_IN}; j++) {{
+            s += w[j][i] * in[j];
+        }}
+        hidden[i] = s;
+        qout[i] = (int)(s * 256.0);
+    }}
+}}
+"""
+
+
+def _alvinn_data(n, rng):
+    return (
+        {"n": n},
+        {
+            "w": rng.standard_normal((_ALV_IN, n)).astype(_f32),
+            "in": rng.standard_normal(_ALV_IN).astype(_f32),
+            "hidden": np.zeros(n, _f32),
+            "qout": np.zeros(n, _i32),
+        },
+    )
+
+
+def _alvinn_ref(n, args, arrays):
+    hidden = (arrays["w"].T.astype(_f64) @ arrays["in"].astype(_f64)).astype(_f32)
+    qout = np.trunc(hidden * np.float32(256.0)).astype(_i32)
+    return {"hidden": hidden, "qout": qout}, None
+
+
+register(
+    Kernel(
+        "alvinn_s32fp", "alvinn_s32fp",
+        "weight propagation for neural-net training (outer-loop)", "kernel",
+        _alvinn_src, _alvinn_data, _alvinn_ref, 128, rtol=2e-3, int_atol=1,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# dct_s32fp — 8x8 DCT columns (outer-loop, int<->fp conversion)
+# ---------------------------------------------------------------------------
+
+def _dct_src(n: int) -> str:
+    return f"""
+void dct_s32fp(int cols, float cosines[8][8],
+               int in[8][{n}], int out[8][{n}]) {{
+    for (int c = 0; c < cols; c++) {{
+        for (int k = 0; k < 8; k++) {{
+            float s = 0;
+            for (int u = 0; u < 8; u++) {{
+                s += cosines[k][u] * (float)in[u][c];
+            }}
+            out[k][c] = (int)s;
+        }}
+    }}
+}}
+"""
+
+
+def _dct_data(n, rng):
+    k = np.arange(8).reshape(-1, 1)
+    u = np.arange(8).reshape(1, -1)
+    cosines = np.cos((2 * u + 1) * k * np.pi / 16).astype(_f32)
+    return (
+        {"cols": n},
+        {
+            "cosines": cosines,
+            "in": rng.integers(-128, 128, (8, n)).astype(_i32),
+            "out": np.zeros((8, n), _i32),
+        },
+    )
+
+
+def _dct_ref(n, args, arrays):
+    s = arrays["cosines"].astype(_f32) @ arrays["in"].astype(_f32)
+    return {"out": np.trunc(s).astype(_i32)}, None
+
+
+register(
+    Kernel(
+        "dct_s32fp", "dct_s32fp",
+        "8x8 discrete cosine transform (outer-loop)", "kernel",
+        _dct_src, _dct_data, _dct_ref, 64, rtol=1e-3, int_atol=1,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# dissolve_fp — video dissolve with a constant weight (fp)
+# ---------------------------------------------------------------------------
+
+def _dissolve_fp_src(n: int) -> str:
+    return """
+void dissolve_fp(int n, float w, float a[], float b[], float out[]) {
+    for (int i = 0; i < n; i++) {
+        out[i] = a[i] * w + b[i] * (1.0 - w);
+    }
+}
+"""
+
+
+def _dissolve_fp_data(n, rng):
+    return (
+        {"n": n, "w": 0.3},
+        {
+            "a": rng.standard_normal(n).astype(_f32),
+            "b": rng.standard_normal(n).astype(_f32),
+            "out": np.zeros(n, _f32),
+        },
+    )
+
+
+def _dissolve_fp_ref(n, args, arrays):
+    w = _f32(args["w"])
+    out = arrays["a"] * w + arrays["b"] * (_f32(1.0) - w)
+    return {"out": out}, None
+
+
+register(
+    Kernel(
+        "dissolve_fp", "dissolve_fp", "video image dissolve (constant)",
+        "kernel", _dissolve_fp_src, _dissolve_fp_data, _dissolve_fp_ref, 512,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# sfir_fp — single-sample FIR (fp reduction with a misaligned stream)
+# ---------------------------------------------------------------------------
+
+def _sfir_fp_src(n: int) -> str:
+    return """
+float sfir_fp(int n, float a[], float c[]) {
+    float sum = 0;
+    for (int i = 0; i < n; i++) {
+        sum += a[i + 2] * c[i];
+    }
+    return sum;
+}
+"""
+
+
+def _sfir_fp_data(n, rng):
+    return (
+        {"n": n},
+        {
+            "a": rng.standard_normal(n + 2).astype(_f32),
+            "c": rng.standard_normal(n).astype(_f32),
+        },
+    )
+
+
+def _sfir_fp_ref(n, args, arrays):
+    return {}, float(
+        (arrays["a"][2:].astype(_f64) * arrays["c"].astype(_f64)).sum()
+    )
+
+
+register(
+    Kernel(
+        "sfir_fp", "sfir_fp", "single sample FIR (reduction)", "kernel",
+        _sfir_fp_src, _sfir_fp_data, _sfir_fp_ref, 512, rtol=1e-3,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# interp_fp — rate-2 interpolation (strided store, fp)
+# ---------------------------------------------------------------------------
+
+def _interp_fp_src(n: int) -> str:
+    return """
+void interp_fp(int n, float a[], float out[]) {
+    for (int i = 0; i < n; i++) {
+        out[2*i] = a[i];
+        out[2*i + 1] = (a[i] + a[i+1]) * 0.5;
+    }
+}
+"""
+
+
+def _interp_fp_data(n, rng):
+    return (
+        {"n": n},
+        {
+            "a": rng.standard_normal(n + 1).astype(_f32),
+            "out": np.zeros(2 * n, _f32),
+        },
+    )
+
+
+def _interp_fp_ref(n, args, arrays):
+    a = arrays["a"]
+    out = np.zeros(2 * n, _f32)
+    out[0::2] = a[:n]
+    out[1::2] = (a[:n] + a[1 : n + 1]) * _f32(0.5)
+    return {"out": out}, None
+
+
+register(
+    Kernel(
+        "interp_fp", "interp_fp",
+        "rate-2 interpolation (strided access, reduction)", "kernel",
+        _interp_fp_src, _interp_fp_data, _interp_fp_ref, 512,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# MMM_fp — matrix multiplication (ikj order; the Mono nested-guard case)
+# ---------------------------------------------------------------------------
+
+def _mmm_src(n: int) -> str:
+    return f"""
+void MMM_fp(float A[{n}][{n}], float B[{n}][{n}], float C[{n}][{n}]) {{
+    for (int i = 0; i < {n}; i++) {{
+        for (int k = 0; k < {n}; k++) {{
+            for (int j = 0; j < {n}; j++) {{
+                C[i][j] = C[i][j] + A[i][k] * B[k][j];
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _mmm_data(n, rng):
+    return (
+        {},
+        {
+            "A": rng.standard_normal((n, n)).astype(_f32),
+            "B": rng.standard_normal((n, n)).astype(_f32),
+            "C": np.zeros((n, n), _f32),
+        },
+    )
+
+
+def _mmm_ref(n, args, arrays):
+    return {"C": (arrays["A"] @ arrays["B"]).astype(_f32)}, None
+
+
+register(
+    Kernel(
+        "MMM_fp", "MMM_fp", "matrix multiplication", "kernel",
+        _mmm_src, _mmm_data, _mmm_ref, 24, rtol=2e-3,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# BLAS: dscal / saxpy in fp and dp
+# ---------------------------------------------------------------------------
+
+def _dscal_src(type_name: str, fname: str):
+    def src(n: int) -> str:
+        return f"""
+void {fname}(int n, {type_name} alpha, {type_name} x[]) {{
+    for (int i = 0; i < n; i++) {{
+        x[i] = alpha * x[i];
+    }}
+}}
+"""
+
+    return src
+
+
+def _saxpy_src(type_name: str, fname: str):
+    def src(n: int) -> str:
+        return f"""
+void {fname}(int n, {type_name} alpha, {type_name} x[], {type_name} y[]) {{
+    for (int i = 0; i < n; i++) {{
+        y[i] = alpha * x[i] + y[i];
+    }}
+}}
+"""
+
+    return src
+
+
+def _blas_data(dtype, with_y):
+    def data(n, rng):
+        arrays = {"x": rng.standard_normal(n).astype(dtype)}
+        if with_y:
+            arrays["y"] = rng.standard_normal(n).astype(dtype)
+        return {"n": n, "alpha": 1.5}, arrays
+
+    return data
+
+
+def _dscal_ref(dtype):
+    def ref(n, args, arrays):
+        return {"x": (dtype(args["alpha"]) * arrays["x"]).astype(dtype)}, None
+
+    return ref
+
+
+def _saxpy_ref(dtype):
+    def ref(n, args, arrays):
+        y = dtype(args["alpha"]) * arrays["x"] + arrays["y"]
+        return {"y": y.astype(dtype)}, None
+
+    return ref
+
+
+register(
+    Kernel(
+        "dscal_fp", "dscal_fp", "scale elements by constant (BLAS)", "kernel",
+        _dscal_src("float", "dscal_fp"), _blas_data(_f32, False),
+        _dscal_ref(_f32), 512,
+    )
+)
+register(
+    Kernel(
+        "saxpy_fp", "saxpy_fp", "constant times a vector plus a vector (BLAS)",
+        "kernel", _saxpy_src("float", "saxpy_fp"), _blas_data(_f32, True),
+        _saxpy_ref(_f32), 512,
+    )
+)
+register(
+    Kernel(
+        "dscal_dp", "dscal_dp", "scale elements by constant (BLAS, double)",
+        "kernel", _dscal_src("double", "dscal_dp"), _blas_data(_f64, False),
+        _dscal_ref(_f64), 512,
+    )
+)
+register(
+    Kernel(
+        "saxpy_dp", "saxpy_dp",
+        "constant times a vector plus a vector (BLAS, double)", "kernel",
+        _saxpy_src("double", "saxpy_dp"), _blas_data(_f64, True),
+        _saxpy_ref(_f64), 512,
+    )
+)

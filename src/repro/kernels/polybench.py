@@ -1,0 +1,830 @@
+"""PolyBench 1.0 kernels (single-precision configuration, §IV-B).
+
+The paper ran PolyBench with float matrices and manually applied enabling
+transformations — "loop interchange and distribution, array layout
+transposition, and scalar promotion" — before auto-vectorization.  The
+sources below are written in that already-normalized form (e.g. matrix
+products in ikj order, gramschmidt over a transposed layout), which is what
+GCC's vectorizer saw in the original study.
+
+lu, ludcmp and seidel are included *unvectorizable on purpose*: they
+"require loop skewing ... which unfortunately results in a control flow
+incompatible with the current auto-vectorizer"; the test suite asserts the
+vectorizer rejects them, and the harness runs them scalar in both flows.
+
+Problem sizes default far below the paper's 128^2 to keep the cycle-level
+VM fast; every reported number is a ratio, which is size-stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .suite import Kernel, register
+
+__all__ = []
+
+_f32 = np.float32
+_f64 = np.float64
+
+
+def _randmat(rng, *shape):
+    return rng.standard_normal(shape).astype(_f32)
+
+
+# ---------------------------------------------------------------------------
+# correlation / covariance
+# ---------------------------------------------------------------------------
+
+def _correlation_src(n: int) -> str:
+    return f"""
+void correlation_fp(float data[{n}][{n}], float mean[{n}], float stddev[{n}],
+                    float symmat[{n}][{n}]) {{
+    for (int j = 0; j < {n}; j++) {{
+        mean[j] = 0.0;
+        stddev[j] = 0.0;
+    }}
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            mean[j] = mean[j] + data[i][j];
+        }}
+    }}
+    for (int j = 0; j < {n}; j++) {{
+        mean[j] = mean[j] / {float(n)};
+    }}
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            data[i][j] = data[i][j] - mean[j];
+            stddev[j] = stddev[j] + data[i][j] * data[i][j];
+        }}
+    }}
+    for (int j = 0; j < {n}; j++) {{
+        stddev[j] = sqrt(stddev[j] / {float(n)}) + 0.0001;
+    }}
+    for (int j1 = 0; j1 < {n}; j1++) {{
+        for (int i = 0; i < {n}; i++) {{
+            for (int j2 = 0; j2 < {n}; j2++) {{
+                symmat[j1][j2] = symmat[j1][j2]
+                    + data[i][j1] * data[i][j2]
+                      / ({float(n)} * stddev[j1] * stddev[j2]);
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _correlation_data(n, rng):
+    return {}, {
+        "data": _randmat(rng, n, n),
+        "mean": np.zeros(n, _f32),
+        "stddev": np.zeros(n, _f32),
+        "symmat": np.zeros((n, n), _f32),
+    }
+
+
+def _correlation_ref(n, args, arrays):
+    data = arrays["data"].astype(_f64)
+    mean = data.sum(axis=0) / n
+    centered = data - mean
+    stddev = np.sqrt((centered * centered).sum(axis=0) / n) + 1e-4
+    symmat = np.zeros((n, n), _f64)
+    for j1 in range(n):
+        symmat[j1] = (centered[:, j1:j1+1] * centered).sum(axis=0) / (
+            n * stddev[j1] * stddev
+        )
+    return {
+        "mean": mean.astype(_f32),
+        "stddev": stddev.astype(_f32),
+        "data": centered.astype(_f32),
+        "symmat": symmat.astype(_f32),
+    }, None
+
+
+register(
+    Kernel(
+        "correlation_fp", "correlation_fp", "datamining", "polybench",
+        _correlation_src, _correlation_data, _correlation_ref, 16, rtol=5e-2,
+    )
+)
+
+
+def _covariance_src(n: int) -> str:
+    return f"""
+void covariance_fp(float data[{n}][{n}], float mean[{n}], float symmat[{n}][{n}]) {{
+    for (int j = 0; j < {n}; j++) {{
+        mean[j] = 0.0;
+    }}
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            mean[j] = mean[j] + data[i][j];
+        }}
+    }}
+    for (int j = 0; j < {n}; j++) {{
+        mean[j] = mean[j] / {float(n)};
+    }}
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            data[i][j] = data[i][j] - mean[j];
+        }}
+    }}
+    for (int j1 = 0; j1 < {n}; j1++) {{
+        for (int i = 0; i < {n}; i++) {{
+            for (int j2 = 0; j2 < {n}; j2++) {{
+                symmat[j1][j2] = symmat[j1][j2] + data[i][j1] * data[i][j2];
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _covariance_data(n, rng):
+    return {}, {
+        "data": _randmat(rng, n, n),
+        "mean": np.zeros(n, _f32),
+        "symmat": np.zeros((n, n), _f32),
+    }
+
+
+def _covariance_ref(n, args, arrays):
+    data = arrays["data"].astype(_f64)
+    mean = data.sum(axis=0) / n
+    centered = data - mean
+    symmat = centered.T @ centered
+    return {
+        "mean": mean.astype(_f32),
+        "data": centered.astype(_f32),
+        "symmat": symmat.astype(_f32),
+    }, None
+
+
+register(
+    Kernel(
+        "covariance_fp", "covariance_fp", "datamining", "polybench",
+        _covariance_src, _covariance_data, _covariance_ref, 16, rtol=2e-2,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# linear-algebra kernels: 2mm, 3mm, atax, gesummv, doitgen, gemm, gemver, bicg
+# ---------------------------------------------------------------------------
+
+def _matmul_block(dst, a, b, n, alpha=None) -> str:
+    scale = f"{alpha} * " if alpha else ""
+    return f"""
+    for (int i = 0; i < {n}; i++) {{
+        for (int k = 0; k < {n}; k++) {{
+            for (int j = 0; j < {n}; j++) {{
+                {dst}[i][j] = {dst}[i][j] + {scale}{a}[i][k] * {b}[k][j];
+            }}
+        }}
+    }}"""
+
+
+def _mm2_src(n: int) -> str:
+    return f"""
+void mm2_fp(float A[{n}][{n}], float B[{n}][{n}], float C[{n}][{n}],
+            float tmp[{n}][{n}], float D[{n}][{n}]) {{
+{_matmul_block("tmp", "A", "B", n)}
+{_matmul_block("D", "tmp", "C", n)}
+}}
+"""
+
+
+def _mm2_data(n, rng):
+    return {}, {
+        "A": _randmat(rng, n, n),
+        "B": _randmat(rng, n, n),
+        "C": _randmat(rng, n, n),
+        "tmp": np.zeros((n, n), _f32),
+        "D": np.zeros((n, n), _f32),
+    }
+
+
+def _mm2_ref(n, args, arrays):
+    tmp = arrays["A"].astype(_f64) @ arrays["B"].astype(_f64)
+    d = tmp @ arrays["C"].astype(_f64)
+    return {"tmp": tmp.astype(_f32), "D": d.astype(_f32)}, None
+
+
+register(
+    Kernel(
+        "2mm_fp", "mm2_fp", "linear algebra", "polybench",
+        _mm2_src, _mm2_data, _mm2_ref, 16, rtol=5e-3,
+    )
+)
+
+
+def _mm3_src(n: int) -> str:
+    return f"""
+void mm3_fp(float A[{n}][{n}], float B[{n}][{n}], float C[{n}][{n}],
+            float D[{n}][{n}], float E[{n}][{n}], float F[{n}][{n}],
+            float G[{n}][{n}]) {{
+{_matmul_block("E", "A", "B", n)}
+{_matmul_block("F", "C", "D", n)}
+{_matmul_block("G", "E", "F", n)}
+}}
+"""
+
+
+def _mm3_data(n, rng):
+    return {}, {
+        "A": _randmat(rng, n, n),
+        "B": _randmat(rng, n, n),
+        "C": _randmat(rng, n, n),
+        "D": _randmat(rng, n, n),
+        "E": np.zeros((n, n), _f32),
+        "F": np.zeros((n, n), _f32),
+        "G": np.zeros((n, n), _f32),
+    }
+
+
+def _mm3_ref(n, args, arrays):
+    e = arrays["A"].astype(_f64) @ arrays["B"].astype(_f64)
+    f = arrays["C"].astype(_f64) @ arrays["D"].astype(_f64)
+    g = e @ f
+    return {
+        "E": e.astype(_f32),
+        "F": f.astype(_f32),
+        "G": g.astype(_f32),
+    }, None
+
+
+register(
+    Kernel(
+        "3mm_fp", "mm3_fp", "linear algebra", "polybench",
+        _mm3_src, _mm3_data, _mm3_ref, 16, rtol=5e-3,
+    )
+)
+
+
+def _atax_src(n: int) -> str:
+    return f"""
+void atax_fp(float A[{n}][{n}], float x[{n}], float tmp[{n}], float y[{n}]) {{
+    for (int i = 0; i < {n}; i++) {{
+        float s = 0;
+        for (int j = 0; j < {n}; j++) {{
+            s += A[i][j] * x[j];
+        }}
+        tmp[i] = s;
+    }}
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            y[j] = y[j] + A[i][j] * tmp[i];
+        }}
+    }}
+}}
+"""
+
+
+def _atax_data(n, rng):
+    return {}, {
+        "A": _randmat(rng, n, n),
+        "x": _randmat(rng, n),
+        "tmp": np.zeros(n, _f32),
+        "y": np.zeros(n, _f32),
+    }
+
+
+def _atax_ref(n, args, arrays):
+    a = arrays["A"].astype(_f64)
+    tmp = a @ arrays["x"].astype(_f64)
+    y = a.T @ tmp
+    return {"tmp": tmp.astype(_f32), "y": y.astype(_f32)}, None
+
+
+register(
+    Kernel(
+        "atax_fp", "atax_fp", "linear algebra", "polybench",
+        _atax_src, _atax_data, _atax_ref, 24, rtol=5e-3,
+    )
+)
+
+
+def _gesummv_src(n: int) -> str:
+    return f"""
+void gesummv_fp(float alpha, float beta, float A[{n}][{n}], float B[{n}][{n}],
+                float x[{n}], float y[{n}]) {{
+    for (int i = 0; i < {n}; i++) {{
+        float ta = 0;
+        float tb = 0;
+        for (int j = 0; j < {n}; j++) {{
+            ta += A[i][j] * x[j];
+            tb += B[i][j] * x[j];
+        }}
+        y[i] = alpha * ta + beta * tb;
+    }}
+}}
+"""
+
+
+def _gesummv_data(n, rng):
+    return {"alpha": 1.2, "beta": 0.8}, {
+        "A": _randmat(rng, n, n),
+        "B": _randmat(rng, n, n),
+        "x": _randmat(rng, n),
+        "y": np.zeros(n, _f32),
+    }
+
+
+def _gesummv_ref(n, args, arrays):
+    a = arrays["A"].astype(_f64)
+    b = arrays["B"].astype(_f64)
+    x = arrays["x"].astype(_f64)
+    y = args["alpha"] * (a @ x) + args["beta"] * (b @ x)
+    return {"y": y.astype(_f32)}, None
+
+
+register(
+    Kernel(
+        "gesummv_fp", "gesummv_fp", "linear algebra", "polybench",
+        _gesummv_src, _gesummv_data, _gesummv_ref, 24, rtol=5e-3,
+    )
+)
+
+
+def _doitgen_src(n: int) -> str:
+    return f"""
+void doitgen_fp(float A[{n}][{n}][{n}], float C4[{n}][{n}], float sum[{n}]) {{
+    for (int r = 0; r < {n}; r++) {{
+        for (int q = 0; q < {n}; q++) {{
+            for (int s = 0; s < {n}; s++) {{
+                sum[s] = 0.0;
+            }}
+            for (int p = 0; p < {n}; p++) {{
+                for (int s = 0; s < {n}; s++) {{
+                    sum[s] = sum[s] + A[r][q][p] * C4[p][s];
+                }}
+            }}
+            for (int p = 0; p < {n}; p++) {{
+                A[r][q][p] = sum[p];
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _doitgen_data(n, rng):
+    return {}, {
+        "A": _randmat(rng, n, n, n),
+        "C4": _randmat(rng, n, n),
+        "sum": np.zeros(n, _f32),
+    }
+
+
+def _doitgen_ref(n, args, arrays):
+    a = arrays["A"].astype(_f64)
+    c4 = arrays["C4"].astype(_f64)
+    out = a @ c4
+    return {"A": out.astype(_f32), "sum": out[n - 1, n - 1].astype(_f32)}, None
+
+
+register(
+    Kernel(
+        "doitgen_fp", "doitgen_fp", "linear algebra", "polybench",
+        _doitgen_src, _doitgen_data, _doitgen_ref, 8, rtol=5e-3,
+    )
+)
+
+
+def _gemm_src(n: int) -> str:
+    return f"""
+void gemm_fp(float alpha, float beta, float A[{n}][{n}], float B[{n}][{n}],
+             float C[{n}][{n}]) {{
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            C[i][j] = C[i][j] * beta;
+        }}
+    }}
+    for (int i = 0; i < {n}; i++) {{
+        for (int k = 0; k < {n}; k++) {{
+            for (int j = 0; j < {n}; j++) {{
+                C[i][j] = C[i][j] + alpha * A[i][k] * B[k][j];
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _gemm_data(n, rng):
+    return {"alpha": 1.1, "beta": 0.9}, {
+        "A": _randmat(rng, n, n),
+        "B": _randmat(rng, n, n),
+        "C": _randmat(rng, n, n),
+    }
+
+
+def _gemm_ref(n, args, arrays):
+    c = args["beta"] * arrays["C"].astype(_f64) + args["alpha"] * (
+        arrays["A"].astype(_f64) @ arrays["B"].astype(_f64)
+    )
+    return {"C": c.astype(_f32)}, None
+
+
+register(
+    Kernel(
+        "gemm_fp", "gemm_fp", "linear algebra", "polybench",
+        _gemm_src, _gemm_data, _gemm_ref, 16, rtol=5e-3,
+    )
+)
+
+
+def _gemver_src(n: int) -> str:
+    return f"""
+void gemver_fp(float alpha, float beta, float A[{n}][{n}],
+               float u1[{n}], float v1[{n}], float u2[{n}], float v2[{n}],
+               float x[{n}], float y[{n}], float z[{n}], float w[{n}]) {{
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+        }}
+    }}
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            x[j] = x[j] + beta * A[i][j] * y[i];
+        }}
+    }}
+    for (int i = 0; i < {n}; i++) {{
+        x[i] = x[i] + z[i];
+    }}
+    for (int i = 0; i < {n}; i++) {{
+        float s = 0;
+        for (int j = 0; j < {n}; j++) {{
+            s += alpha * A[i][j] * x[j];
+        }}
+        w[i] = w[i] + s;
+    }}
+}}
+"""
+
+
+def _gemver_data(n, rng):
+    return {"alpha": 1.05, "beta": 0.95}, {
+        "A": _randmat(rng, n, n),
+        "u1": _randmat(rng, n), "v1": _randmat(rng, n),
+        "u2": _randmat(rng, n), "v2": _randmat(rng, n),
+        "x": _randmat(rng, n), "y": _randmat(rng, n),
+        "z": _randmat(rng, n), "w": np.zeros(n, _f32),
+    }
+
+
+def _gemver_ref(n, args, arrays):
+    a = arrays["A"].astype(_f64)
+    a = a + np.outer(arrays["u1"], arrays["v1"]) + np.outer(
+        arrays["u2"], arrays["v2"]
+    )
+    x = arrays["x"].astype(_f64) + args["beta"] * (a.T @ arrays["y"].astype(_f64))
+    x = x + arrays["z"].astype(_f64)
+    w = args["alpha"] * (a @ x)
+    return {
+        "A": a.astype(_f32),
+        "x": x.astype(_f32),
+        "w": w.astype(_f32),
+    }, None
+
+
+register(
+    Kernel(
+        "gemver_fp", "gemver_fp", "linear algebra", "polybench",
+        _gemver_src, _gemver_data, _gemver_ref, 24, rtol=5e-3,
+    )
+)
+
+
+def _bicg_src(n: int) -> str:
+    return f"""
+void bicg_fp(float A[{n}][{n}], float r[{n}], float p[{n}],
+             float s[{n}], float q[{n}]) {{
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            s[j] = s[j] + r[i] * A[i][j];
+        }}
+    }}
+    for (int i = 0; i < {n}; i++) {{
+        float acc = 0;
+        for (int j = 0; j < {n}; j++) {{
+            acc += A[i][j] * p[j];
+        }}
+        q[i] = acc;
+    }}
+}}
+"""
+
+
+def _bicg_data(n, rng):
+    return {}, {
+        "A": _randmat(rng, n, n),
+        "r": _randmat(rng, n),
+        "p": _randmat(rng, n),
+        "s": np.zeros(n, _f32),
+        "q": np.zeros(n, _f32),
+    }
+
+
+def _bicg_ref(n, args, arrays):
+    a = arrays["A"].astype(_f64)
+    s = a.T @ arrays["r"].astype(_f64)
+    q = a @ arrays["p"].astype(_f64)
+    return {"s": s.astype(_f32), "q": q.astype(_f32)}, None
+
+
+register(
+    Kernel(
+        "bicg_fp", "bicg_fp", "linear algebra", "polybench",
+        _bicg_src, _bicg_data, _bicg_ref, 24, rtol=5e-3,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# linear-algebra solvers: gramschmidt (vectorizable), lu/ludcmp (not)
+# ---------------------------------------------------------------------------
+
+def _gramschmidt_src(n: int) -> str:
+    # Transposed layout (rows are column vectors), per the paper's manual
+    # array-layout transposition.
+    return f"""
+void gramschmidt_fp(float At[{n}][{n}], float Qt[{n}][{n}], float R[{n}][{n}]) {{
+    for (int k = 0; k < {n}; k++) {{
+        float nrm = 0;
+        for (int i = 0; i < {n}; i++) {{
+            nrm += At[k][i] * At[k][i];
+        }}
+        R[k][k] = sqrt(nrm);
+        for (int i = 0; i < {n}; i++) {{
+            Qt[k][i] = At[k][i] / R[k][k];
+        }}
+        for (int j = k + 1; j < {n}; j++) {{
+            float s = 0;
+            for (int i = 0; i < {n}; i++) {{
+                s += Qt[k][i] * At[j][i];
+            }}
+            R[k][j] = s;
+            for (int i = 0; i < {n}; i++) {{
+                At[j][i] = At[j][i] - Qt[k][i] * R[k][j];
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _gramschmidt_data(n, rng):
+    return {}, {
+        "At": (_randmat(rng, n, n) + np.eye(n, dtype=_f32) * 4),
+        "Qt": np.zeros((n, n), _f32),
+        "R": np.zeros((n, n), _f32),
+    }
+
+
+def _gramschmidt_ref(n, args, arrays):
+    at = arrays["At"].astype(_f64).copy()
+    qt = np.zeros((n, n), _f64)
+    r = np.zeros((n, n), _f64)
+    for k in range(n):
+        r[k, k] = np.sqrt((at[k] * at[k]).sum())
+        qt[k] = at[k] / r[k, k]
+        for j in range(k + 1, n):
+            r[k, j] = (qt[k] * at[j]).sum()
+            at[j] = at[j] - qt[k] * r[k, j]
+    return {
+        "At": at.astype(_f32),
+        "Qt": qt.astype(_f32),
+        "R": r.astype(_f32),
+    }, None
+
+
+register(
+    Kernel(
+        "gramschmidt_fp", "gramschmidt_fp", "linear algebra solver",
+        "polybench", _gramschmidt_src, _gramschmidt_data, _gramschmidt_ref,
+        16, rtol=2e-2,
+    )
+)
+
+
+def _lu_src(n: int) -> str:
+    return f"""
+void lu_fp(float A[{n}][{n}]) {{
+    for (int k = 0; k < {n}; k++) {{
+        for (int j = k + 1; j < {n}; j++) {{
+            A[k][j] = A[k][j] / A[k][k];
+        }}
+        for (int i = k + 1; i < {n}; i++) {{
+            for (int j = k + 1; j < {n}; j++) {{
+                A[i][j] = A[i][j] - A[i][k] * A[k][j];
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _lu_data(n, rng):
+    return {}, {"A": _randmat(rng, n, n) + np.eye(n, dtype=_f32) * 8}
+
+
+def _lu_ref(n, args, arrays):
+    a = arrays["A"].astype(_f32).copy()
+    for k in range(n):
+        a[k, k + 1 :] = a[k, k + 1 :] / a[k, k]
+        for i in range(k + 1, n):
+            a[i, k + 1 :] = a[i, k + 1 :] - a[i, k] * a[k, k + 1 :]
+    return {"A": a}, None
+
+
+register(
+    Kernel(
+        "lu_fp", "lu_fp", "linear algebra solver (requires skewing)",
+        "polybench", _lu_src, _lu_data, _lu_ref, 16,
+        expect_vectorized=False, rtol=2e-3,
+    )
+)
+
+
+def _ludcmp_src(n: int) -> str:
+    # LU elimination (rejected, as in the paper) plus forward substitution
+    # (a triangular reduction whose inner loop does vectorize).
+    return f"""
+void ludcmp_fp(float A[{n}][{n}], float b[{n}], float y[{n}]) {{
+    for (int k = 0; k < {n}; k++) {{
+        for (int j = k + 1; j < {n}; j++) {{
+            A[k][j] = A[k][j] / A[k][k];
+        }}
+        for (int i = k + 1; i < {n}; i++) {{
+            for (int j = k + 1; j < {n}; j++) {{
+                A[i][j] = A[i][j] - A[i][k] * A[k][j];
+            }}
+        }}
+    }}
+    for (int i = 0; i < {n}; i++) {{
+        float s = 0;
+        for (int j = 0; j < i; j++) {{
+            s += A[i][j] * y[j];
+        }}
+        y[i] = b[i] - s;
+    }}
+}}
+"""
+
+
+def _ludcmp_data(n, rng):
+    return {}, {
+        "A": _randmat(rng, n, n) + np.eye(n, dtype=_f32) * 8,
+        "b": _randmat(rng, n),
+        "y": np.zeros(n, _f32),
+    }
+
+
+def _ludcmp_ref(n, args, arrays):
+    a = arrays["A"].astype(_f32).copy()
+    for k in range(n):
+        a[k, k + 1 :] = a[k, k + 1 :] / a[k, k]
+        for i in range(k + 1, n):
+            a[i, k + 1 :] = a[i, k + 1 :] - a[i, k] * a[k, k + 1 :]
+    y = np.zeros(n, _f32)
+    for i in range(n):
+        s = _f32(0.0)
+        for j in range(i):
+            s = _f32(s + a[i, j] * y[j])
+        y[i] = _f32(arrays["b"][i] - s)
+    return {"A": a, "y": y}, None
+
+
+register(
+    Kernel(
+        "ludcmp_fp", "ludcmp_fp", "linear algebra solver (requires skewing)",
+        "polybench", _ludcmp_src, _ludcmp_data, _ludcmp_ref, 16,
+        expect_vectorized=False, rtol=2e-3,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# stencils: adi, jacobi, seidel
+# ---------------------------------------------------------------------------
+
+def _adi_src(n: int) -> str:
+    # One ADI-like sweep pair: the recurrence runs along the outer (row)
+    # dimension; the inner (column) loop is parallel and vectorizes.
+    return f"""
+void adi_fp(float X[{n}][{n}], float A[{n}][{n}], float B[{n}][{n}]) {{
+    for (int i = 1; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            X[i][j] = X[i][j] - X[i-1][j] * A[i][j] / B[i-1][j];
+            B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i-1][j];
+        }}
+    }}
+    for (int i = 1; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            X[i][j] = X[i][j] / B[i][j];
+        }}
+    }}
+}}
+"""
+
+
+def _adi_data(n, rng):
+    return {}, {
+        "X": _randmat(rng, n, n),
+        "A": _randmat(rng, n, n) * _f32(0.1),
+        "B": np.abs(_randmat(rng, n, n)) + _f32(2.0),
+    }
+
+
+def _adi_ref(n, args, arrays):
+    x = arrays["X"].astype(_f64).copy()
+    a = arrays["A"].astype(_f64)
+    b = arrays["B"].astype(_f64).copy()
+    for i in range(1, n):
+        x[i] = x[i] - x[i - 1] * a[i] / b[i - 1]
+        b[i] = b[i] - a[i] * a[i] / b[i - 1]
+    for i in range(1, n):
+        x[i] = x[i] / b[i]
+    return {"X": x.astype(_f32), "B": b.astype(_f32)}, None
+
+
+register(
+    Kernel(
+        "adi_fp", "adi_fp", "stencil (alternating direction implicit)",
+        "polybench", _adi_src, _adi_data, _adi_ref, 24, rtol=2e-2,
+    )
+)
+
+
+def _jacobi_src(n: int) -> str:
+    return f"""
+void jacobi_fp(float A[{n}][{n}], float B[{n}][{n}]) {{
+    for (int i = 1; i < {n} - 1; i++) {{
+        for (int j = 1; j < {n} - 1; j++) {{
+            B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][j+1]
+                             + A[i-1][j] + A[i+1][j]);
+        }}
+    }}
+}}
+"""
+
+
+def _jacobi_data(n, rng):
+    return {}, {
+        "A": _randmat(rng, n, n),
+        "B": np.zeros((n, n), _f32),
+    }
+
+
+def _jacobi_ref(n, args, arrays):
+    a = arrays["A"]
+    b = np.zeros((n, n), _f32)
+    b[1:-1, 1:-1] = _f32(0.2) * (
+        a[1:-1, 1:-1] + a[1:-1, :-2] + a[1:-1, 2:] + a[:-2, 1:-1] + a[2:, 1:-1]
+    )
+    return {"B": b}, None
+
+
+register(
+    Kernel(
+        "jacobi_fp", "jacobi_fp", "stencil (jacobi 5-point)", "polybench",
+        _jacobi_src, _jacobi_data, _jacobi_ref, 24, rtol=1e-3,
+    )
+)
+
+
+def _seidel_src(n: int) -> str:
+    return f"""
+void seidel_fp(float A[{n}][{n}]) {{
+    for (int i = 1; i < {n} - 1; i++) {{
+        for (int j = 1; j < {n} - 1; j++) {{
+            A[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][j+1]
+                             + A[i-1][j] + A[i+1][j]);
+        }}
+    }}
+}}
+"""
+
+
+def _seidel_data(n, rng):
+    return {}, {"A": _randmat(rng, n, n)}
+
+
+def _seidel_ref(n, args, arrays):
+    a = arrays["A"].astype(_f32).copy()
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            a[i, j] = _f32(0.2) * _f32(
+                _f32(_f32(_f32(a[i, j] + a[i, j - 1]) + a[i, j + 1])
+                     + a[i - 1, j]) + a[i + 1, j]
+            )
+    return {"A": a}, None
+
+
+register(
+    Kernel(
+        "seidel_fp", "seidel_fp", "stencil (gauss-seidel, requires skewing)",
+        "polybench", _seidel_src, _seidel_data, _seidel_ref, 16,
+        expect_vectorized=False, rtol=2e-3,
+    )
+)

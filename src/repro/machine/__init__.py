@@ -1,0 +1,31 @@
+"""Machine layer: flat machine IR, memory model, cycle-cost VM, register
+allocation models, and the IACA-style static analyzer."""
+
+from .flatten import FlattenOptions, flatten
+from .iaca import ThroughputReport, analyze_loop_throughput
+from .memory import GUARD_BYTES, ArrayBuffer
+from .mir import FPR, GPR, VEC, ArraySlot, MFunction, MInstr, VReg
+from .regalloc import AllocStats, allocate_linear_scan, allocate_local
+from .vm import VM, RunResult, VMError
+
+__all__ = [
+    "MFunction",
+    "MInstr",
+    "VReg",
+    "ArraySlot",
+    "GPR",
+    "FPR",
+    "VEC",
+    "flatten",
+    "FlattenOptions",
+    "ArrayBuffer",
+    "GUARD_BYTES",
+    "VM",
+    "VMError",
+    "RunResult",
+    "allocate_local",
+    "allocate_linear_scan",
+    "AllocStats",
+    "analyze_loop_throughput",
+    "ThroughputReport",
+]

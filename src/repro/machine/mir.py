@@ -1,0 +1,137 @@
+"""Machine IR (MIR): the flat, branchy form both online compilers emit.
+
+The structured IR is flattened into a linear instruction list with labels
+and conditional branches, over an infinite virtual register file.  Register
+allocation then maps virtual registers onto the target's physical file,
+inserting spill code.  The cycle-cost VM (:mod:`repro.machine.vm`) executes
+MIR directly, charging each instruction its target-specific cost; the
+IACA-analogue (:mod:`repro.machine.iaca`) statically sums the same costs
+over a loop body.
+
+Memory is byte-addressed per array: an address operand is a byte offset
+into a named array's buffer, so alignment semantics are explicit (``vload_a``
+traps on a misaligned address, ``vload_fa`` floors it, AltiVec-style).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..ir.types import ScalarType, VectorType
+
+__all__ = ["VReg", "MInstr", "MFunction", "ArraySlot", "GPR", "FPR", "VEC"]
+
+GPR = "gpr"  # integer scalar registers
+FPR = "fpr"  # floating scalar registers
+VEC = "vec"  # vector registers
+
+_reg_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual (pre-allocation) or physical (post-allocation) register.
+
+    ``phys`` is None for virtual registers; after allocation it holds the
+    physical index.  Spill slots are represented by the allocator as
+    negative physical indices on dedicated spill instructions.
+    """
+
+    id: int
+    rclass: str
+    type: ScalarType | VectorType | None = None
+    phys: int | None = None
+
+    @staticmethod
+    def fresh(rclass: str, type=None) -> "VReg":
+        return VReg(next(_reg_ids), rclass, type)
+
+    def short(self) -> str:
+        prefix = {GPR: "r", FPR: "f", VEC: "v"}[self.rclass]
+        if self.phys is not None:
+            return f"{prefix}{self.phys}"
+        return f"%{prefix}{self.id}"
+
+
+@dataclass
+class MInstr:
+    """One machine instruction.
+
+    Attributes:
+        op: opcode mnemonic (see the VM for the executable set).
+        dst: destination register or None.
+        srcs: source registers.
+        imm: immediate payload (int/float constant, label name, array name,
+            element type, lane count, lib-call name...), opcode-specific.
+    """
+
+    op: str
+    dst: VReg | None = None
+    srcs: list[VReg] = field(default_factory=list)
+    imm: dict = field(default_factory=dict)
+
+    def regs(self) -> list[VReg]:
+        out = list(self.srcs)
+        if self.dst is not None:
+            out.append(self.dst)
+        return out
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        if self.dst is not None:
+            parts.append(self.dst.short())
+        parts.extend(s.short() for s in self.srcs)
+        if self.imm:
+            parts.append(str(self.imm))
+        return " ".join(parts)
+
+
+@dataclass
+class ArraySlot:
+    """A function's array parameter at the machine level."""
+
+    name: str
+    elem: ScalarType
+    may_alias: bool = False
+
+
+@dataclass
+class MFunction:
+    """A flattened machine function.
+
+    Attributes:
+        name: kernel name.
+        scalar_params: (name, type, VReg) triples — the VM binds call
+            arguments to these registers on entry.
+        arrays: the array parameters, bound to VM buffers at call time.
+        instrs: the flat instruction list; ``label`` pseudo-instructions
+            carry ``imm={"name": ...}``.
+        ret: register holding the return value, or None.
+    """
+
+    name: str
+    scalar_params: list[tuple[str, ScalarType, VReg]] = field(default_factory=list)
+    arrays: list[ArraySlot] = field(default_factory=list)
+    instrs: list[MInstr] = field(default_factory=list)
+    ret: VReg | None = None
+    meta: dict = field(default_factory=dict)
+
+    def emit(self, opcode: str, dst=None, srcs=None, **imm) -> MInstr:
+        instr = MInstr(opcode, dst, list(srcs or []), imm)
+        self.instrs.append(instr)
+        return instr
+
+    def labels(self) -> dict[str, int]:
+        return {
+            ins.imm["name"]: idx
+            for idx, ins in enumerate(self.instrs)
+            if ins.op == "label"
+        }
+
+    def dump(self) -> str:
+        lines = [f"mfunc {self.name}:"]
+        for ins in self.instrs:
+            pad = "" if ins.op == "label" else "  "
+            lines.append(pad + repr(ins))
+        return "\n".join(lines)

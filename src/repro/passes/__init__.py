@@ -1,0 +1,34 @@
+"""Scalar optimization passes shared by the offline and online compilers."""
+
+from .constfold import eval_binop, eval_cmp, eval_unop, fold_constants
+from .dce import eliminate_dead_code
+from .licm import hoist_invariants
+from .simplify import collapse_ifs, simplify
+
+__all__ = [
+    "fold_constants",
+    "eval_binop",
+    "eval_unop",
+    "eval_cmp",
+    "eliminate_dead_code",
+    "hoist_invariants",
+    "simplify",
+    "collapse_ifs",
+]
+
+
+def optimize(fn, level: int = 2) -> None:
+    """Run the standard pipeline: fold -> simplify -> (licm) -> dce.
+
+    ``level`` 0 does nothing (Mono-like), 1 folds and sweeps, 2 adds
+    simplification and invariant hoisting (gcc4cli-like).
+    """
+    if level <= 0:
+        return
+    fold_constants(fn)
+    if level >= 2:
+        simplify(fn)
+        hoist_invariants(fn)
+        fold_constants(fn)
+        simplify(fn)
+    eliminate_dead_code(fn)

@@ -1,0 +1,171 @@
+"""Constant folding over the structured IR.
+
+Folds arithmetic on compile-time constants.  Table 1 idioms are *never*
+folded here — materializing ``get_VF``/``loop_bound``/``version_guard`` is
+the online compiler's job; this pass serves both the offline normalizer and
+the optimizing online compiler (after materialization those idioms are
+already gone).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import (
+    BinOp,
+    Block,
+    Cmp,
+    Const,
+    Convert,
+    ForLoop,
+    Function,
+    If,
+    Instr,
+    Select,
+    UnOp,
+    Value,
+)
+from ..ir.types import BOOL
+
+__all__ = ["fold_constants", "eval_binop", "eval_unop", "eval_cmp"]
+
+
+def _np(value, type):
+    if not type.is_float:
+        # Wrap Python ints into the type's range explicitly; numpy >= 2
+        # raises OverflowError instead of wrapping on scalar construction.
+        bits = type.bits
+        v = int(value) & ((1 << bits) - 1)
+        if v >= 1 << (bits - 1):
+            v -= 1 << bits
+        return type.numpy_dtype.type(v)
+    return type.numpy_dtype.type(value)
+
+
+def eval_binop(op: str, a, b, type) -> float | int:
+    """Evaluate a scalar binary op with the wrap-around semantics of the
+    target type (ints wrap at their width, like C and like the VM)."""
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        x, y = _np(a, type), _np(b, type)
+        if op == "add":
+            r = x + y
+        elif op == "sub":
+            r = x - y
+        elif op == "mul":
+            r = x * y
+        elif op == "div":
+            if not type.is_float and int(y) == 0:
+                raise ZeroDivisionError("constant integer division by zero")
+            if type.is_float:
+                r = x / y
+            else:
+                # C-style truncating division.
+                r = int(x) // int(y)
+                if (int(x) % int(y) != 0) and ((int(x) < 0) != (int(y) < 0)):
+                    r += 1
+                r = _np(r, type)
+        elif op == "mod":
+            if int(y) == 0:
+                raise ZeroDivisionError("constant integer modulo by zero")
+            r = int(x) - int(eval_binop("div", a, b, type)) * int(y)
+            r = _np(r, type)
+        elif op == "min":
+            r = min(x, y)
+        elif op == "max":
+            r = max(x, y)
+        elif op == "and":
+            r = _np(int(x) & int(y), type)
+        elif op == "or":
+            r = _np(int(x) | int(y), type)
+        elif op == "xor":
+            r = _np(int(x) ^ int(y), type)
+        elif op == "shl":
+            r = _np(int(x) << (int(y) & (type.bits - 1)), type)
+        elif op == "shr":
+            r = _np(int(x) >> (int(y) & (type.bits - 1)), type)
+        else:
+            raise ValueError(f"unknown op {op}")
+    return float(r) if type.is_float else int(r)
+
+
+def eval_unop(op: str, a, type) -> float | int:
+    """Evaluate a scalar unary op with the VM's semantics."""
+    if op == "neg":
+        return eval_binop("sub", 0, a, type)
+    if op == "abs":
+        return eval_binop("max", a, eval_binop("sub", 0, a, type), type)
+    if op == "not":
+        return eval_binop("xor", a, -1, type)
+    if op == "sqrt":
+        return float(np.sqrt(_np(a, type)))
+    raise ValueError(f"unknown unary op {op}")
+
+
+def eval_cmp(op: str, a, b) -> int:
+    """Evaluate a comparison, returning 0/1."""
+    return int(
+        {
+            "eq": a == b,
+            "ne": a != b,
+            "lt": a < b,
+            "le": a <= b,
+            "gt": a > b,
+            "ge": a >= b,
+        }[op]
+    )
+
+
+def _fold_instr(instr: Instr) -> Const | None:
+    """Return a replacement Const if ``instr`` folds, else None."""
+    ops = instr.operands
+    if isinstance(instr, BinOp) and all(isinstance(o, Const) for o in ops):
+        try:
+            return Const(
+                eval_binop(instr.op, ops[0].value, ops[1].value, instr.type),
+                instr.type,
+            )
+        except ZeroDivisionError:
+            return None
+    if isinstance(instr, UnOp) and isinstance(ops[0], Const):
+        return Const(eval_unop(instr.op, ops[0].value, instr.type), instr.type)
+    if isinstance(instr, Cmp) and all(isinstance(o, Const) for o in ops):
+        return Const(eval_cmp(instr.op, ops[0].value, ops[1].value), BOOL)
+    if isinstance(instr, Convert) and isinstance(ops[0], Const):
+        v = ops[0].value
+        return Const(float(v) if instr.to.is_float else int(v), instr.to)
+    if isinstance(instr, Select) and isinstance(ops[0], Const):
+        return ops[1] if ops[0].value else ops[2]  # type: ignore[return-value]
+    return None
+
+
+def _fold_block(block: Block, subst: dict[Value, Value]) -> int:
+    folded = 0
+    kept = []
+    for instr in block.instrs:
+        instr.replace_uses(subst)
+        replacement = _fold_instr(instr)
+        if replacement is not None:
+            subst[instr] = replacement
+            folded += 1
+            continue  # drop the folded instruction
+        if isinstance(instr, ForLoop):
+            folded += _fold_block(instr.body, subst)
+        elif isinstance(instr, If):
+            folded += _fold_block(instr.then_block, subst)
+            folded += _fold_block(instr.else_block, subst)
+        kept.append(instr)
+    block.instrs = kept
+    return folded
+
+
+def fold_constants(fn: Function) -> int:
+    """Fold constants in ``fn`` in place; returns the number of folds.
+
+    Folded instructions become dead and are left for DCE to sweep.
+    """
+    total = 0
+    while True:
+        n = _fold_block(fn.body, {})
+        total += n
+        if n == 0:
+            return total

@@ -1,0 +1,184 @@
+"""Algebraic simplification and If-collapsing.
+
+Strength-reduction-lite peepholes (``x+0``, ``x*1``, ``x*0``, ``x-x``,
+``select`` with constant condition) plus collapsing of ``If`` regions whose
+condition folded to a constant — the step that erases the losing loop
+version once the online compiler resolves a ``version_guard``.
+"""
+
+from __future__ import annotations
+
+from ..ir import (
+    BinOp,
+    Block,
+    Const,
+    ForLoop,
+    Function,
+    If,
+    Instr,
+    Select,
+    Value,
+    Yield,
+)
+from ..ir.types import ScalarType
+
+
+def _is_scalar_int(t) -> bool:
+    return isinstance(t, ScalarType) and not t.is_float
+
+__all__ = ["simplify", "collapse_ifs"]
+
+
+def _simplify_instr(instr: Instr) -> Value | None:
+    from ..machine import ops as mops
+
+    if isinstance(instr, mops.MVReduce):
+        # reduce(insert0(splat(identity), x)) == x — the shape left behind
+        # when a vector loop collapsed to zero trips under scalarization.
+        vec = instr.operands[0]
+        if isinstance(vec, mops.MVInsert0):
+            base, scalar = vec.operands
+            if isinstance(base, mops.MVConst) and len(set(base.values)) == 1:
+                ident = base.values[0]
+                t = base.type.elem
+                expected = {
+                    "plus": 0,
+                    "min": t.max_value,
+                    "max": t.min_value,
+                }[instr.kind]
+                if ident == expected:
+                    return scalar
+    if isinstance(instr, BinOp):
+        lhs, rhs = instr.lhs, instr.rhs
+        lc = lhs.value if isinstance(lhs, Const) else None
+        rc = rhs.value if isinstance(rhs, Const) else None
+        op = instr.op
+        if op == "add":
+            if rc == 0:
+                return lhs
+            if lc == 0:
+                return rhs
+        elif op == "sub":
+            if rc == 0:
+                return lhs
+            if lhs is rhs and _is_scalar_int(instr.type):
+                return Const(0, instr.type)
+        elif op == "mul":
+            if rc == 1:
+                return lhs
+            if lc == 1:
+                return rhs
+            if (rc == 0 or lc == 0) and _is_scalar_int(instr.type):
+                return Const(0, instr.type)
+        elif op == "div":
+            if rc == 1:
+                return lhs
+        elif op in ("and", "or"):
+            if lhs is rhs:
+                return lhs
+        elif op == "xor":
+            if lhs is rhs and _is_scalar_int(instr.type):
+                return Const(0, instr.type)
+        elif op in ("shl", "shr"):
+            if rc == 0:
+                return lhs
+        elif op in ("min", "max"):
+            if lhs is rhs:
+                return lhs
+    elif isinstance(instr, Select) and isinstance(instr.cond, Const):
+        return instr.if_true if instr.cond.value else instr.if_false
+    return None
+
+
+def _simplify_block(block: Block, subst: dict[Value, Value]) -> int:
+    changed = 0
+    kept = []
+    for instr in block.instrs:
+        instr.replace_uses(subst)
+        replacement = _simplify_instr(instr)
+        if replacement is not None:
+            subst[instr] = replacement
+            changed += 1
+            continue  # drop the replaced instruction
+        if isinstance(instr, ForLoop):
+            changed += _simplify_block(instr.body, subst)
+        elif isinstance(instr, If):
+            changed += _simplify_block(instr.then_block, subst)
+            changed += _simplify_block(instr.else_block, subst)
+        kept.append(instr)
+    block.instrs = kept
+    return changed
+
+
+def collapse_ifs(fn: Function) -> int:
+    """Inline the taken arm of every If whose condition is constant."""
+    return _collapse_block(fn.body)
+
+
+def _collapse_block(block: Block) -> int:
+    changed = 0
+    new_instrs: list[Instr] = []
+    subst: dict[Value, Value] = {}
+    for instr in block.instrs:
+        instr.replace_uses(subst)
+        if isinstance(instr, ForLoop):
+            zero_trip = instr.lower is instr.upper or (
+                isinstance(instr.lower, Const)
+                and isinstance(instr.upper, Const)
+                and instr.lower.value >= instr.upper.value
+            )
+            if zero_trip:
+                # Provably zero-trip (e.g. a vector loop whose loop_bound
+                # materialized to the same value on both ends, or constant
+                # bounds after runtime specialization): results are the
+                # initial values.
+                for res, init in zip(instr.results, instr.init_values):
+                    subst[res] = subst.get(init, init)
+                changed += 1
+                continue
+            changed += _collapse_block(instr.body)
+            new_instrs.append(instr)
+        elif isinstance(instr, If):
+            changed += _collapse_block(instr.then_block)
+            changed += _collapse_block(instr.else_block)
+            if isinstance(instr.cond, Const):
+                arm = instr.then_block if instr.cond.value else instr.else_block
+                term = arm.terminator
+                for inner in arm.instrs:
+                    if inner is term and isinstance(term, Yield):
+                        continue
+                    inner.replace_uses(subst)
+                    new_instrs.append(inner)
+                if isinstance(term, Yield):
+                    for r, v in zip(instr.results, term.values):
+                        subst[r] = subst.get(v, v)
+                changed += 1
+            else:
+                new_instrs.append(instr)
+        else:
+            new_instrs.append(instr)
+    block.instrs = new_instrs
+    if subst:
+        _apply_subst(block, subst)
+    return changed
+
+
+def _apply_subst(block: Block, subst: dict[Value, Value]) -> None:
+    for instr in block.instrs:
+        instr.replace_uses(subst)
+        if isinstance(instr, ForLoop):
+            _apply_subst(instr.body, subst)
+        elif isinstance(instr, If):
+            _apply_subst(instr.then_block, subst)
+            _apply_subst(instr.else_block, subst)
+
+
+def simplify(fn: Function) -> int:
+    """Run algebraic simplification to a fixed point; returns change count."""
+    total = 0
+    while True:
+        n = _simplify_block(fn.body, {})
+        n += collapse_ifs(fn)
+        total += n
+        if n == 0:
+            return total

@@ -1,0 +1,19 @@
+"""SIMD target descriptors (SSE, AltiVec, NEON, AVX, scalar)."""
+
+from .base import BASE_COSTS, X87_FP_EXTRA, CostTable, Target
+from .defs import ALTIVEC, AVX, NEON, SCALAR, SSE, TARGETS, VSX, get_target
+
+__all__ = [
+    "Target",
+    "CostTable",
+    "BASE_COSTS",
+    "X87_FP_EXTRA",
+    "SSE",
+    "ALTIVEC",
+    "NEON",
+    "AVX",
+    "VSX",
+    "SCALAR",
+    "TARGETS",
+    "get_target",
+]

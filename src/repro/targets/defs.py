@@ -1,0 +1,140 @@
+"""The concrete targets of the paper's evaluation (§IV-A).
+
+Register-file sizes and cost quirks are chosen to reproduce the *behaviour*
+the paper reports, not exact microarchitectural numbers:
+
+* **SSE** (Core2-era x86): misaligned loads exist but cost extra; only six
+  allocatable GPRs, so Mono's local allocator spills heavily; scaled
+  addressing is free.
+* **AltiVec** (PowerPC G5): aligned-only memory ops with lvsr/vperm
+  realignment; no 64-bit element support (doubles scalarize); large
+  register files, so Mono behaves better than on x86.
+* **NEON** (Cortex-A8, 64-bit vectors): VS=8 demonstrates VF portability;
+  no double support; the widening-multiply and int<->fp conversion idioms
+  fall back to library calls, modelling the immature GCC NEON backend the
+  paper mentions for dissolve and dct.
+* **AVX** (emulated, 256-bit): floating-point only, evaluated via the
+  IACA-style static analyzer (Table 3), not wall-clock runs.
+* **scalar**: no SIMD at all — exercises the scalarization path (§III-C.d).
+"""
+
+from __future__ import annotations
+
+from ..ir.types import F32, F64, I8, I16, I32, I64
+from .base import CostTable, Target
+
+__all__ = ["SSE", "ALTIVEC", "NEON", "AVX", "VSX", "SCALAR", "TARGETS", "get_target"]
+
+SSE = Target(
+    name="sse",
+    vector_size=16,
+    supports_misaligned_load=True,
+    supports_misaligned_store=True,
+    supports_explicit_realign=False,
+    vector_elem_types=frozenset({I8, I16, I32, I64, F32, F64}),
+    gpr_count=6,
+    fpr_count=8,
+    vec_count=8,
+    has_scaled_addressing=True,
+    issue_width=4,
+    cost=CostTable({"vload_u": 2.0, "vstore_u": 3.0, "vextract": 2.0}),
+    description="Intel Core2 Duo E6850 @ 3 GHz (SSE/SSE2/SSE3/SSSE3)",
+)
+
+ALTIVEC = Target(
+    name="altivec",
+    vector_size=16,
+    supports_misaligned_load=False,
+    supports_misaligned_store=False,
+    supports_explicit_realign=True,
+    vector_elem_types=frozenset({I8, I16, I32, F32}),
+    gpr_count=32,
+    fpr_count=32,
+    vec_count=32,
+    has_scaled_addressing=False,
+    issue_width=4,
+    cost=CostTable({"vperm": 1.0, "lvsr": 1.0, "vreduce": 4.0}),
+    description="PowerPC G5 @ 2.3 GHz (AltiVec; aligned accesses only)",
+)
+
+NEON = Target(
+    name="neon",
+    vector_size=8,
+    supports_misaligned_load=True,
+    supports_misaligned_store=True,
+    supports_explicit_realign=False,
+    vector_elem_types=frozenset({I8, I16, I32, F32}),
+    library_idioms=frozenset({"widen_mult", "cvt_intfp"}),
+    gpr_count=14,
+    fpr_count=16,
+    vec_count=16,
+    has_scaled_addressing=False,
+    issue_width=2,
+    cost=CostTable({"vload_u": 1.5, "vstore_u": 2.0, "mul": 4.0}),
+    description="ARM Cortex A8 @ 720 MHz (NEON, 64-bit vector mode)",
+)
+
+AVX = Target(
+    name="avx",
+    vector_size=32,
+    supports_misaligned_load=True,
+    supports_misaligned_store=True,
+    supports_explicit_realign=False,
+    vector_elem_types=frozenset({F32, F64}),
+    gpr_count=16,
+    fpr_count=16,
+    vec_count=16,
+    has_scaled_addressing=True,
+    issue_width=4,
+    cost=CostTable({"vload_u": 1.5, "vstore_u": 2.0}),
+    description="Intel AVX via SDE/IACA emulation (256-bit FP vectors)",
+)
+
+VSX = Target(
+    name="vsx",
+    vector_size=16,
+    supports_misaligned_load=True,
+    supports_misaligned_store=True,
+    supports_explicit_realign=True,
+    vector_elem_types=frozenset({I8, I16, I32, I64, F32, F64}),
+    gpr_count=32,
+    fpr_count=64,
+    vec_count=64,
+    has_scaled_addressing=False,
+    issue_width=4,
+    cost=CostTable({"vload_u": 1.5, "vstore_u": 2.0, "vperm": 1.0}),
+    description=(
+        "POWER7-class VSX (SIII-A lists it among explicit-realignment "
+        "targets): AltiVec superset with 64-bit elements and misaligned "
+        "accesses"
+    ),
+)
+
+SCALAR = Target(
+    name="scalar",
+    vector_size=0,
+    supports_misaligned_load=False,
+    supports_misaligned_store=False,
+    supports_explicit_realign=False,
+    vector_elem_types=frozenset(),
+    gpr_count=16,
+    fpr_count=16,
+    vec_count=0,
+    has_scaled_addressing=False,
+    issue_width=2,
+    description="Generic target without SIMD support (scalarization path)",
+)
+
+TARGETS: dict[str, Target] = {
+    t.name: t for t in (SSE, ALTIVEC, NEON, AVX, VSX, SCALAR)
+}
+
+
+def get_target(name: str) -> Target:
+    """Look up a target by name; raises KeyError with the known set."""
+    try:
+        return TARGETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown target {name!r}; known: {sorted(TARGETS)}"
+        ) from None

@@ -1,0 +1,26 @@
+"""The offline auto-vectorizer: loop, outer-loop, and SLP vectorization
+emitting split-layer bytecode (symbolic VF) or native vector IR."""
+
+from .config import VectorizerConfig, native_config, split_config
+from .cost import GENERIC_SIMD, CostEstimate, SimdProfile, estimate_loop_cost
+from .driver import vectorize_function, vectorize_module
+from .ifconv import can_if_convert, if_convert_block
+from .legality import Legality, check_inner_loop
+from .stmt import PlanError
+
+__all__ = [
+    "VectorizerConfig",
+    "split_config",
+    "native_config",
+    "CostEstimate",
+    "SimdProfile",
+    "GENERIC_SIMD",
+    "estimate_loop_cost",
+    "vectorize_function",
+    "vectorize_module",
+    "Legality",
+    "check_inner_loop",
+    "can_if_convert",
+    "if_convert_block",
+    "PlanError",
+]

@@ -1,0 +1,98 @@
+"""Vectorizer configuration: one engine, two personalities.
+
+The paper's key move is reusing a single auto-vectorization engine for both
+flows (§III-B adjusts GCC's "multi-platform auto-vectorizer to generate the
+vectorized bytecode").  This config selects between:
+
+* **split** (``target is None``): vector sizes are symbolic — loop steps and
+  pointer increments go through ``get_VF``/``get_align_limit``, loop bounds
+  through ``loop_bound``, and alignment/alias decisions through
+  ``version_guard`` — producing portable vectorized bytecode.
+* **native** (``target`` set): the classical monolithic compiler — VF is a
+  constant, array bases are assumed aligned (GCC forces alignment of the
+  globals the benchmarks use), no versioning or loop_bound indirection.
+
+The boolean knobs exist for the paper's own ablation (§V-A.b, alignment
+optimizations and hints disabled) and for the extra ablations in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import Const, GetVF, IRBuilder, Value
+from ..ir.types import I32, ScalarType
+from ..targets.base import Target
+
+__all__ = ["VectorizerConfig", "split_config", "native_config"]
+
+
+@dataclass
+class VectorizerConfig:
+    """Offline-stage policy.
+
+    Attributes:
+        target: None for the split flow; a Target for native compilation.
+        enable_alignment_opts: emit misalignment hints, aligned-version
+            guards, peeling, and optimized realignment.  Disabling this is
+            the paper's §V-A.b ablation (2.5x average degradation).
+        enable_versioning: emit version_guard-selected loop versions; off
+            means only the hint-less fallback version is produced.
+        enable_realign_reuse: cross-iteration reuse of realignment loads
+            (Figure 2d's ``va = vb``); off re-loads both vectors each
+            iteration.
+        enable_slp: straight-line (superword) vectorization.
+        enable_outer: outer-loop vectorization for nests.
+        dependence_hints: instead of conservatively refusing loops with
+            loop-carried dependences, version them on ``VF <= distance``
+            (§III-B.b's alternative approach).
+        assume_noalias: treat may_alias arrays as independent (native flow
+            compiled with whole-program knowledge).
+    """
+
+    target: Target | None = None
+    enable_alignment_opts: bool = True
+    enable_versioning: bool = True
+    enable_realign_reuse: bool = True
+    enable_slp: bool = True
+    enable_outer: bool = True
+    dependence_hints: bool = False
+    assume_noalias: bool = False
+    #: Minimum estimated speedup (cost model, §II.c) for vectorizing a
+    #: loop; below it the loop stays scalar.  0.0 disables the veto.
+    cost_threshold: float = 0.98
+    _group_counter: list = field(default_factory=lambda: [0])
+
+    @property
+    def is_split(self) -> bool:
+        return self.target is None
+
+    def next_group(self) -> int:
+        self._group_counter[0] += 1
+        return self._group_counter[0]
+
+    def vf_value(self, b: IRBuilder, elem: ScalarType, group: int) -> Value:
+        """The VF for ``elem``: a get_VF idiom (split) or a constant."""
+        if self.target is None:
+            instr = GetVF(elem, name=f"vf_{elem.name}")
+            instr.group = group
+            return b.emit(instr)
+        return Const(self.target.vf(elem), I32)
+
+    def supports_vector_elem(self, elem: ScalarType) -> bool:
+        """Native flow: skip vectorization of types the target can't do.
+        Split flow: everything is a candidate (the JIT decides)."""
+        if self.target is None:
+            return True
+        return self.target.supports_elem(elem)
+
+
+def split_config(**overrides) -> VectorizerConfig:
+    """The offline stage of the split flow (Figure 1(A))."""
+    return VectorizerConfig(target=None, **overrides)
+
+
+def native_config(target: Target, **overrides) -> VectorizerConfig:
+    """The monolithic native compiler (Figure 4's E/F flow)."""
+    overrides.setdefault("assume_noalias", True)
+    return VectorizerConfig(target=target, **overrides)

@@ -1,0 +1,107 @@
+"""If-conversion (§II.c mentions it among SLP's prerequisite transforms).
+
+Control flow inside a candidate loop body is converted to data flow:
+an ``If`` whose arms only compute values (no stores, no nested loops)
+becomes ``Select`` instructions — both arms execute, the condition picks
+lanes.  Loops whose Ifs cannot be converted are not vectorizable.
+"""
+
+from __future__ import annotations
+
+from ..ir import Block, ForLoop, If, Instr, Select, Yield
+
+__all__ = ["if_convert_block", "can_if_convert"]
+
+
+def _arm_convertible(block: Block) -> bool:
+    for instr in block.instrs:
+        if isinstance(instr, (ForLoop, If)):
+            return False
+        if isinstance(instr, Yield):
+            continue
+        if instr.has_side_effects:
+            return False
+    return True
+
+
+def can_if_convert(block: Block) -> bool:
+    """True if every If in ``block`` (recursively) is convertible."""
+    for instr in block.instrs:
+        if isinstance(instr, If):
+            if not (
+                _arm_convertible(instr.then_block)
+                and _arm_convertible(instr.else_block)
+            ):
+                return False
+            if not (can_if_convert(instr.then_block) and can_if_convert(instr.else_block)):
+                return False
+        elif isinstance(instr, ForLoop):
+            # Nested loops are the outer-vectorizer's business, not ours.
+            continue
+    return True
+
+
+def if_convert_block(block: Block) -> bool:
+    """Convert all Ifs in ``block`` to selects, in place.
+
+    Returns False (leaving the block partially untouched only by way of
+    already-safe rewrites) if some If is not convertible — callers should
+    check :func:`can_if_convert` first; this is a belt-and-braces guard.
+    """
+    new_instrs: list[Instr] = []
+    ok = True
+    for instr in block.instrs:
+        if not isinstance(instr, If):
+            new_instrs.append(instr)
+            continue
+        if not (
+            _arm_convertible(instr.then_block) and _arm_convertible(instr.else_block)
+        ):
+            ok = False
+            new_instrs.append(instr)
+            continue
+        subst = {}
+        then_vals = []
+        else_vals = []
+        for arm, sink in (
+            (instr.then_block, then_vals),
+            (instr.else_block, else_vals),
+        ):
+            term = arm.terminator
+            for inner in arm.instrs:
+                if inner is term and isinstance(term, Yield):
+                    sink.extend(term.values)
+                    continue
+                new_instrs.append(inner)
+        for r, tv, ev in zip(instr.results, then_vals, else_vals):
+            sel = Select(instr.cond, tv, ev, name="ifcvt")
+            new_instrs.append(sel)
+            subst[r] = sel
+        # Remap later uses of the If's results.
+        if subst:
+            _remap_rest(block, instr, subst)
+            for later in new_instrs:
+                later.replace_uses(subst)
+    block.instrs = new_instrs
+    return ok
+
+
+def _remap_rest(block: Block, after: Instr, subst: dict) -> None:
+    from ..ir import walk
+
+    seen = False
+    for instr in block.instrs:
+        if instr is after:
+            seen = True
+            continue
+        if not seen:
+            continue
+        instr.replace_uses(subst)
+        if isinstance(instr, ForLoop):
+            for inner in walk(instr.body):
+                inner.replace_uses(subst)
+        elif isinstance(instr, If):
+            for inner in walk(instr.then_block):
+                inner.replace_uses(subst)
+            for inner in walk(instr.else_block):
+                inner.replace_uses(subst)

@@ -1,0 +1,190 @@
+"""Vectorization legality analysis for one candidate loop.
+
+Combines the dependence, reduction, and access-shape checks of §II into a
+single verdict, recording everything the code generator needs (reductions,
+memory streams, alias-guard requirements, the smallest element type that
+fixes VF).  The dependence policy is the paper's conservative one by
+default — "refrain from (offline) vectorizing a loop with loop-carried
+dependences" (§III-B.b) — with the distance-hint alternative behind
+``config.dependence_hints``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import (
+    MemRef,
+    Reduction,
+    collect_memrefs,
+    dependences_for_loop,
+    find_reductions,
+)
+from ..analysis.loopinfo import LoopInfo, const_trip_count
+from ..ir import (
+    BinOp,
+    Cmp,
+    Const,
+    Convert,
+    ForLoop,
+    If,
+    Load,
+    Select,
+    Store,
+    UnOp,
+    Yield,
+    walk,
+)
+from ..ir.types import BOOL, ScalarType
+from .config import VectorizerConfig
+from .ifconv import can_if_convert
+
+__all__ = ["Legality", "check_inner_loop", "MAX_LOAD_STRIDE", "MAX_STORE_STRIDE"]
+
+MAX_LOAD_STRIDE = 4
+MAX_STORE_STRIDE = 2
+MAX_WIDEN_RATIO = 8
+
+_SUPPORTED = (BinOp, UnOp, Cmp, Select, Convert, Load, Store, Yield, If)
+
+
+@dataclass
+class Legality:
+    """Verdict plus everything codegen needs."""
+
+    ok: bool
+    reasons: list[str] = field(default_factory=list)
+    reductions: dict[int, Reduction] = field(default_factory=dict)
+    refs: list[MemRef] = field(default_factory=list)
+    alias_pairs: list[tuple] = field(default_factory=list)
+    min_elem: ScalarType | None = None
+    needs_if_conversion: bool = False
+    dep_distance_bound: int | None = None
+
+    def reject(self, reason: str) -> "Legality":
+        self.ok = False
+        self.reasons.append(reason)
+        return self
+
+
+def check_inner_loop(info: LoopInfo, config: VectorizerConfig) -> Legality:
+    """Decide whether ``info.loop`` (an innermost loop) can be vectorized."""
+    loop = info.loop
+    result = Legality(ok=True)
+    if not info.is_innermost:
+        return result.reject("not innermost")
+    if not isinstance(loop.step, Const) or int(loop.step.value) != 1:
+        return result.reject("non-unit step")
+
+    # Shape of the body: only straight-line (or if-convertible) code.
+    has_if = False
+    for instr in walk(loop.body):
+        if isinstance(instr, ForLoop):
+            return result.reject("nested loop in body")
+        if isinstance(instr, If):
+            has_if = True
+            continue
+        if not isinstance(instr, _SUPPORTED):
+            return result.reject(f"unsupported op {instr.mnemonic}")
+    if has_if:
+        if not can_if_convert(loop.body):
+            return result.reject("control flow not if-convertible")
+        result.needs_if_conversion = True
+
+    # Loop-carried scalars must all be reductions (Table 1 supports
+    # plus/min/max); anything else is a true recurrence.
+    result.reductions = find_reductions(loop)
+    for index in range(len(loop.carried)):
+        if index not in result.reductions:
+            return result.reject(
+                f"non-reduction loop-carried value #{index}"
+            )
+
+    # Memory references: affine, bounded strides, no indirect addressing
+    # (subscript terms must be defined outside the loop body).
+    body_ids = {a.id for a in loop.body.args}
+    for instr in walk(loop.body):
+        body_ids.add(instr.id)
+    result.refs = collect_memrefs(loop)
+    elem_sizes: list[ScalarType] = []
+    for ref in result.refs:
+        elem_sizes.append(ref.array.elem)
+        if ref.affine is None:
+            return result.reject(f"non-affine access to {ref.array.name}")
+        for term in ref.affine.terms:
+            if term is not info.iv and term.id in body_ids:
+                return result.reject(
+                    f"loop-variant subscript term in access to {ref.array.name}"
+                )
+        stride = ref.affine.coeff(info.iv)
+        if ref.is_store:
+            if stride < 1 or stride > MAX_STORE_STRIDE:
+                return result.reject(
+                    f"store stride {stride} to {ref.array.name}"
+                )
+        else:
+            if stride < 0 or stride > MAX_LOAD_STRIDE:
+                return result.reject(
+                    f"load stride {stride} from {ref.array.name}"
+                )
+    for red in result.reductions.values():
+        elem_sizes.append(red.carried.type)
+
+    if not any(r.is_store for r in result.refs) and not result.reductions:
+        return result.reject("no stores and no reductions (nothing to do)")
+    if not elem_sizes:
+        return result.reject("no vectorizable data")
+    sizes = {t.size for t in elem_sizes if t != BOOL}
+    if not sizes:
+        return result.reject("only boolean data")
+    if max(sizes) // min(sizes) > MAX_WIDEN_RATIO:
+        return result.reject("type-size ratio too large")
+    result.min_elem = min(
+        (t for t in elem_sizes if t != BOOL), key=lambda t: (t.size, t.name)
+    )
+
+    # Native flow: the target must support every element type used.
+    for t in elem_sizes:
+        if t == BOOL:
+            continue
+        if not config.supports_vector_elem(t):
+            return result.reject(f"target lacks vector {t}")
+
+    # Dependences.
+    trip = const_trip_count(loop)
+    trips = {info.iv: trip} if trip is not None else None
+    deps = dependences_for_loop(result.refs, info.iv, set(), trips)
+    min_distance: int | None = None
+    for dep in deps:
+        r = dep.result
+        if r.kind == "loop_independent":
+            continue
+        if r.kind == "unknown":
+            if (
+                dep.src.array is not dep.dst.array
+                and dep.src.array.may_alias
+                and dep.dst.array.may_alias
+            ):
+                if config.assume_noalias:
+                    continue
+                pair = (dep.src.array, dep.dst.array)
+                if pair not in result.alias_pairs and (
+                    pair[1],
+                    pair[0],
+                ) not in result.alias_pairs:
+                    result.alias_pairs.append(pair)
+                continue
+            return result.reject(
+                f"unanalyzable dependence on {dep.src.array.name}"
+            )
+        if r.kind == "carried":
+            if config.dependence_hints and r.distance is not None:
+                d = r.distance
+                min_distance = d if min_distance is None else min(min_distance, d)
+                continue
+            return result.reject(
+                f"loop-carried dependence (distance {r.distance}) on "
+                f"{dep.src.array.name}"
+            )
+    result.dep_distance_bound = min_distance
+    return result

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+DEMO = """
+float dot(int n, float a[], float b[]) {
+    float s = 0;
+    for (int i = 0; i < n; i++) { s += a[i + 2] * b[i]; }
+    return s;
+}
+"""
+
+
+def _cli(*argv, timeout=240):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+@pytest.fixture()
+def demo_vbc(tmp_path):
+    src = tmp_path / "demo.c"
+    src.write_text(DEMO)
+    out = tmp_path / "demo.vbc"
+    result = _cli("compile", str(src), "-o", str(out))
+    assert result.returncode == 0, result.stderr
+    return out, result.stdout
+
+
+class TestCompile:
+    def test_reports_vectorization(self, demo_vbc):
+        out, stdout = demo_vbc
+        assert "vectorized (inner)" in stdout
+        assert out.exists() and out.stat().st_size > 100
+
+    def test_scalar_only(self, tmp_path):
+        src = tmp_path / "demo.c"
+        src.write_text(DEMO)
+        out = tmp_path / "scalar.vbc"
+        result = _cli("compile", str(src), "-o", str(out), "--scalar-only")
+        assert result.returncode == 0
+        assert "vectorized" not in result.stdout
+
+    def test_ablation_flag_shrinks_bytecode(self, tmp_path, demo_vbc):
+        src = tmp_path / "demo.c"
+        src.write_text(DEMO)
+        out = tmp_path / "noalign.vbc"
+        result = _cli("compile", str(src), "-o", str(out), "--no-alignment")
+        assert result.returncode == 0
+        # Without alignment versioning only one loop version is emitted.
+        assert out.stat().st_size < demo_vbc[0].stat().st_size
+
+
+class TestDisasm:
+    def test_shows_split_idioms(self, demo_vbc):
+        out, _ = demo_vbc
+        result = _cli("disasm", str(out))
+        assert result.returncode == 0
+        for idiom in ("get_VF", "loop_bound", "version_guard", "realign_load",
+                      "reduc_plus"):
+            assert idiom in result.stdout
+
+
+class TestJit:
+    @pytest.mark.parametrize(
+        "target,expected_op",
+        [("altivec", "vperm"), ("sse", "vload_u"), ("scalar", "load")],
+    )
+    def test_lowering_per_target(self, demo_vbc, target, expected_op):
+        out, _ = demo_vbc
+        result = _cli("jit", str(out), "--target", target)
+        assert result.returncode == 0
+        assert expected_op in result.stdout
+
+    def test_mono_compiler_selected(self, demo_vbc):
+        out, _ = demo_vbc
+        result = _cli("jit", str(out), "--compiler", "mono", "--target", "sse")
+        assert "compiler=mono" in result.stdout
+
+
+class TestKernelsAndRun:
+    def test_kernels_lists_both_suites(self):
+        result = _cli("kernels")
+        assert result.returncode == 0
+        assert "dissolve_s8" in result.stdout
+        assert "gramschmidt_fp" in result.stdout
+        assert "[not vectorizable]" in result.stdout  # lu/seidel rows
+
+    def test_run_checks_results(self):
+        result = _cli("run", "saxpy_fp", "--target", "neon",
+                      "--flow", "split_vec_mono", "--size", "64")
+        assert result.returncode == 0
+        assert "checked=yes" in result.stdout
+
+    def test_run_unknown_kernel(self):
+        result = _cli("run", "nonexistent_kernel")
+        assert result.returncode == 2
+
+    def test_run_unknown_flow(self):
+        result = _cli("run", "saxpy_fp", "--flow", "bogus")
+        assert result.returncode == 2

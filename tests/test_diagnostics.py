@@ -1,0 +1,62 @@
+"""Diagnostics quality: frontend errors carry source positions and say
+what went wrong — the difference between a toolchain and a script."""
+
+import pytest
+
+from repro.frontend import LexError, ParseError, SemaError, compile_source, parse, tokenize
+
+
+class TestLexDiagnostics:
+    def test_position_in_message(self):
+        with pytest.raises(LexError, match=r"at 2:3"):
+            tokenize("ab\n  $")
+
+    def test_unterminated_comment_position(self):
+        with pytest.raises(LexError, match=r"unterminated"):
+            tokenize("x /* ...")
+
+
+class TestParseDiagnostics:
+    def test_expected_token_named(self):
+        with pytest.raises(ParseError, match=r"expected ';'"):
+            parse("void f() { int x = 1 }")
+
+    def test_got_token_shown(self):
+        with pytest.raises(ParseError, match=r"got '\}'"):
+            parse("void f() { int x = 1 }")
+
+    def test_loop_condition_variable(self):
+        with pytest.raises(ParseError, match="loop condition must test 'i'"):
+            parse("void f(int n) { for (int i = 0; j < n; i++) {} }")
+
+    def test_loop_step_variable(self):
+        with pytest.raises(ParseError, match="loop step must update 'i'"):
+            parse("void f(int n) { for (int i = 0; i < n; j++) {} }")
+
+    def test_may_alias_scalar_rejected(self):
+        with pytest.raises(ParseError, match="__may_alias"):
+            parse("void f(__may_alias int n) {}")
+
+
+class TestSemaDiagnostics:
+    def test_line_number_in_message(self):
+        with pytest.raises(SemaError, match=r"line 3"):
+            compile_source("void f() {\n  int x = 1;\n  int y = z;\n}")
+
+    def test_identifier_named(self):
+        with pytest.raises(SemaError, match="'z'"):
+            compile_source("void f() { int y = z; }")
+
+    def test_rank_mismatch_details(self):
+        with pytest.raises(SemaError, match="rank 2"):
+            compile_source("void f(float A[4][4]) { A[0] = 0.0; }")
+
+    def test_unknown_builtin_named(self):
+        # Unknown callables are caught at parse time (only builtins may be
+        # called); the message names the identifier position.
+        with pytest.raises((ParseError, SemaError)):
+            compile_source("void f() { int x = foo(1); }")
+
+    def test_unknown_array_extent(self):
+        with pytest.raises(SemaError, match="unknown extent 'm'"):
+            compile_source("void f(float a[m]) { a[0] = 1.0; }")

@@ -1,0 +1,81 @@
+"""SLP group-size coverage: pairs (g=2) and wide groups (g=8), plus the
+guard behaviour when VF cannot tile the group."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ArrayBuffer,
+    MonoJIT,
+    OptimizingJIT,
+    VM,
+    compile_source,
+    get_target,
+    split_config,
+    vectorize_function,
+)
+from repro.ir import I16, I32, InitPattern, verify_function, walk
+
+
+def _group_src(g: int, elem="short", suffix="(short)") -> str:
+    lines = [
+        f"        out[{g}*i + {p}] = {suffix}((in[{g}*i + {p}] * {p + 2}) >> 2);"
+        for p in range(g)
+    ]
+    return (
+        f"void k(int n, {elem} in[], {elem} out[]) {{\n"
+        "    for (int i = 0; i < n; i++) {\n"
+        + "\n".join(lines)
+        + "\n    }\n}\n"
+    )
+
+
+def _run(out_fn, g, n, dtype, elem, target_name, jit):
+    target = get_target(target_name)
+    rng = np.random.default_rng(g * 100 + n)
+    data = rng.integers(-500, 500, g * n).astype(dtype)
+    ck = jit.compile(out_fn, target)
+    bufs = {
+        "in": ArrayBuffer(elem, g * n, data=data),
+        "out": ArrayBuffer(elem, g * n),
+    }
+    VM(target).run(ck.mfunc, {"n": n}, bufs)
+    gains = np.arange(2, g + 2, dtype=dtype)
+    expect = ((data.reshape(-1, g) * gains) >> 2).astype(dtype).ravel()
+    assert np.array_equal(bufs["out"].read_elements(), expect), (
+        g, target_name, jit.name,
+    )
+
+
+class TestGroupSizes:
+    @pytest.mark.parametrize("g", [2, 4, 8])
+    def test_slp_or_strided_handles_group(self, g):
+        fn = compile_source(_group_src(g))["k"]
+        out = vectorize_function(fn, split_config())
+        verify_function(out)
+        report = list(out.annotations["vect_report"].values())[0]
+        assert report.startswith("vectorized"), (g, report)
+        for target_name in ("sse", "altivec", "neon", "scalar"):
+            for jit in (MonoJIT(), OptimizingJIT()):
+                _run(out, g, 37, np.int16, I16, target_name, jit)
+
+    def test_g8_pattern_constant(self):
+        fn = compile_source(_group_src(8))["k"]
+        out = vectorize_function(fn, split_config())
+        pats = [i for i in walk(out.body) if isinstance(i, InitPattern)]
+        assert any(p.pattern == (2, 3, 4, 5, 6, 7, 8, 9) for p in pats)
+
+    def test_i32_group4_guard_fails_on_neon(self):
+        """i32 on NEON has VF=2 < g=4: the slp_group guard must route to
+        the scalar loop there while SSE (VF=4) runs the superword code."""
+        fn = compile_source(_group_src(4, elem="int", suffix="(int)"))["k"]
+        out = vectorize_function(fn, split_config())
+        report = list(out.annotations["vect_report"].values())[0]
+        assert "slp" in report
+        for target_name, expect_vec in (("sse", True), ("neon", False)):
+            target = get_target(target_name)
+            ck = OptimizingJIT().compile(out, target)
+            ops = {i.op for i in ck.mfunc.instrs}
+            has_vec_store = "vstore_a" in ops or "vstore_u" in ops
+            assert has_vec_store == expect_vec, target_name
+            _run(out, 4, 25, np.int32, I32, target_name, OptimizingJIT())

@@ -1,0 +1,137 @@
+"""Tests for runtime specialization (the paper's §VII future work)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ArrayBuffer,
+    MonoJIT,
+    OptimizingJIT,
+    VM,
+    compile_source,
+    get_target,
+    split_config,
+    vectorize_function,
+)
+from repro.bytecode import decode_function, encode_function
+from repro.ir import F32, walk
+from repro.jit import SpecializationError, specialize_scalars
+
+SFIR = """
+float sfir(int n, float a[], float c[]) {
+    float s = 0;
+    for (int i = 0; i < n; i++) { s += a[i + 2] * c[i]; }
+    return s;
+}
+"""
+
+
+def _vec():
+    return vectorize_function(compile_source(SFIR)["sfir"], split_config())
+
+
+def _run(fn, target, args, n, a, c):
+    ck = OptimizingJIT().compile(fn, target)
+    bufs = {
+        "a": ArrayBuffer(F32, n + 4, data=a),
+        "c": ArrayBuffer(F32, n, data=c),
+    }
+    res = VM(target).run(ck.mfunc, args, bufs)
+    return res, ck
+
+
+class TestSpecializeScalars:
+    def test_signature_shrinks(self):
+        spec = specialize_scalars(_vec(), {"n": 100})
+        assert [p.name for p in spec.scalar_params] == []
+        assert spec.name == "sfir__spec"
+        assert spec.annotations["specialized"] == {"n": 100}
+
+    def test_unknown_parameter(self):
+        with pytest.raises(SpecializationError):
+            specialize_scalars(_vec(), {"m": 5})
+
+    def test_original_untouched(self):
+        vec = _vec()
+        before = len(list(walk(vec.body)))
+        specialize_scalars(vec, {"n": 100})
+        assert len(list(walk(vec.body))) == before
+
+    @pytest.mark.parametrize("n", [1, 7, 512, 513])
+    @pytest.mark.parametrize("target_name", ["sse", "altivec", "scalar"])
+    def test_results_identical(self, n, target_name):
+        target = get_target(target_name)
+        vec = _vec()
+        spec = specialize_scalars(vec, {"n": n})
+        rng = np.random.default_rng(n)
+        a = rng.standard_normal(n + 4).astype(np.float32)
+        c = rng.standard_normal(n).astype(np.float32)
+        expect = float((a[2 : n + 2].astype(np.float64) * c).sum())
+        generic, _ = _run(vec, target, {"n": n}, n, a, c)
+        specialized, _ = _run(spec, target, {}, n, a, c)
+        assert float(generic.value) == pytest.approx(expect, rel=1e-3)
+        assert float(specialized.value) == float(generic.value)
+
+    def test_optimizing_jit_profits(self):
+        """With a VF-divisible trip count the epilogue loop and the whole
+        bound prologue fold away under the optimizing JIT."""
+        target = get_target("sse")
+        vec = _vec()
+        spec = specialize_scalars(vec, {"n": 512})
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal(516).astype(np.float32)
+        c = rng.standard_normal(512).astype(np.float32)
+        g, ck_g = _run(vec, target, {"n": 512}, 512, a, c)
+        s, ck_s = _run(spec, target, {}, 512, a, c)
+        assert s.cycles < g.cycles
+        assert ck_s.stats["minstrs"] < ck_g.stats["minstrs"]
+
+    def test_mono_gains_nothing(self):
+        """Without constant folding, specialization is inert — the reason
+        the paper frames it as an *online optimizing* opportunity."""
+        target = get_target("sse")
+        vec = _vec()
+        spec = specialize_scalars(vec, {"n": 512})
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal(516).astype(np.float32)
+        c = rng.standard_normal(512).astype(np.float32)
+
+        def run_mono(fn, args):
+            ck = MonoJIT().compile(fn, target)
+            bufs = {
+                "a": ArrayBuffer(F32, 516, data=a),
+                "c": ArrayBuffer(F32, 512, data=c),
+            }
+            return VM(target).run(ck.mfunc, args, bufs)
+
+        g = run_mono(vec, {"n": 512})
+        s = run_mono(spec, {})
+        assert abs(s.cycles - g.cycles) / g.cycles < 0.02
+
+    def test_specialize_after_bytecode_roundtrip(self):
+        vec = decode_function(encode_function(_vec()))
+        spec = specialize_scalars(vec, {"n": 64})
+        target = get_target("neon")
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal(68).astype(np.float32)
+        c = rng.standard_normal(64).astype(np.float32)
+        res, _ = _run(spec, target, {}, 64, a, c)
+        assert float(res.value) == pytest.approx(
+            float((a[2:66] * c).sum()), rel=1e-3
+        )
+
+    def test_partial_binding(self):
+        src = """
+void scale(int n, float alpha, float x[]) {
+    for (int i = 0; i < n; i++) { x[i] = alpha * x[i]; }
+}
+"""
+        vec = vectorize_function(compile_source(src)["scale"], split_config())
+        spec = specialize_scalars(vec, {"alpha": 2.0})
+        assert [p.name for p in spec.scalar_params] == ["n"]
+        target = get_target("sse")
+        x = np.arange(20, dtype=np.float32)
+        ck = OptimizingJIT().compile(spec, target)
+        bufs = {"x": ArrayBuffer(F32, 20, data=x)}
+        VM(target).run(ck.mfunc, {"n": 20}, bufs)
+        assert np.allclose(bufs["x"].read_elements(), 2.0 * x)

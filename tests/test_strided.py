@@ -1,0 +1,128 @@
+"""Strided-access coverage beyond the rate-2 interp kernels: stride 3
+(RGB deinterleave) and stride 4 (quad channels) loads via the extract
+idiom, plus planner rejection boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ArrayBuffer,
+    MonoJIT,
+    OptimizingJIT,
+    VM,
+    compile_source,
+    get_target,
+    split_config,
+    vectorize_function,
+)
+from repro.ir import F32, I16, Extract, verify_function, walk
+
+RGB = """
+void rgb2gray(int n, short rgb[], short gray[]) {
+    for (int i = 0; i < n; i++) {
+        gray[i] = (short)((rgb[3*i] * 5 + rgb[3*i + 1] * 9
+                          + rgb[3*i + 2] * 2) >> 4);
+    }
+}
+"""
+
+QUAD = """
+float quad_energy(int n, float q[]) {
+    float e = 0;
+    for (int i = 0; i < n; i++) {
+        e += q[4*i] * q[4*i] + q[4*i + 3] * q[4*i + 3];
+    }
+    return e;
+}
+"""
+
+
+def _vec(src, name):
+    out = vectorize_function(compile_source(src)[name], split_config())
+    verify_function(out)
+    return out
+
+
+class TestStride3:
+    def test_extracts_three_phases(self):
+        out = _vec(RGB, "rgb2gray")
+        extracts = [i for i in walk(out.body) if isinstance(i, Extract)]
+        assert {e.offset for e in extracts} == {0, 1, 2}
+        assert all(e.stride == 3 for e in extracts)
+        assert all(len(e.operands) == 3 for e in extracts)
+
+    @pytest.mark.parametrize("target_name", ["sse", "altivec", "neon", "scalar"])
+    @pytest.mark.parametrize("n", [1, 5, 48])
+    def test_correct(self, target_name, n):
+        out = _vec(RGB, "rgb2gray")
+        target = get_target(target_name)
+        rng = np.random.default_rng(n)
+        rgb = rng.integers(-500, 500, 3 * n).astype(np.int16)
+        px = rgb.reshape(-1, 3).astype(np.int16)
+        expect = ((px[:, 0] * 5 + px[:, 1] * 9 + px[:, 2] * 2) >> 4).astype(
+            np.int16
+        )
+        for jit in (MonoJIT(), OptimizingJIT()):
+            ck = jit.compile(out, target)
+            bufs = {
+                "rgb": ArrayBuffer(I16, 3 * n, data=rgb),
+                "gray": ArrayBuffer(I16, n),
+            }
+            VM(target).run(ck.mfunc, {"n": n}, bufs)
+            assert np.array_equal(bufs["gray"].read_elements(), expect), (
+                target_name, jit.name,
+            )
+
+
+class TestStride4:
+    def test_vectorizes_with_two_used_phases(self):
+        out = _vec(QUAD, "quad_energy")
+        report = out.annotations["vect_report"]
+        assert any(v.startswith("vectorized") for v in report.values())
+        extracts = [i for i in walk(out.body) if isinstance(i, Extract)]
+        # Only the used phases (0 and 3) are extracted.
+        assert {e.offset for e in extracts} <= {0, 3}
+        assert all(e.stride == 4 for e in extracts)
+
+    def test_correct(self):
+        out = _vec(QUAD, "quad_energy")
+        n = 33
+        rng = np.random.default_rng(2)
+        q = rng.standard_normal(4 * n).astype(np.float32)
+        expect = float(
+            (q[0::4].astype(np.float64) ** 2 + q[3::4].astype(np.float64) ** 2).sum()
+        )
+        target = get_target("sse")
+        ck = OptimizingJIT().compile(out, target)
+        bufs = {"q": ArrayBuffer(F32, 4 * n, data=q)}
+        res = VM(target).run(ck.mfunc, {"n": n}, bufs)
+        assert float(res.value) == pytest.approx(expect, rel=1e-3)
+
+
+class TestPlannerBoundaries:
+    def test_stride5_load_rejected(self):
+        out = _vec(
+            "void f(int n, float a[], float o[]) {"
+            " for (int i = 0; i < n; i++) { o[i] = a[5*i]; } }",
+            "f",
+        )
+        assert "rejected" in list(out.annotations["vect_report"].values())[0]
+
+    def test_stride3_store_rejected(self):
+        out = _vec(
+            "void f(int n, float a[], float o[]) {"
+            " for (int i = 0; i < n; i++) {"
+            "   o[3*i] = a[i]; o[3*i+1] = a[i]; o[3*i+2] = a[i]; } }",
+            "f",
+        )
+        assert "rejected" in list(out.annotations["vect_report"].values())[0]
+
+    def test_incomplete_stride2_store_pair_rejected(self):
+        # Writing only the even phase leaves holes a vector store can't
+        # express; the planner must bail out.
+        out = _vec(
+            "void f(int n, float a[], float o[]) {"
+            " for (int i = 0; i < n; i++) { o[2*i] = a[i]; } }",
+            "f",
+        )
+        assert "rejected" in list(out.annotations["vect_report"].values())[0]

@@ -1,0 +1,77 @@
+"""Tests for the target descriptors."""
+
+import pytest
+
+from repro.ir import F32, F64, I8, I16, I32, I64
+from repro.targets import ALTIVEC, AVX, NEON, SCALAR, SSE, TARGETS, VSX, get_target
+
+
+class TestRegistry:
+    def test_all_paper_targets_present(self):
+        assert set(TARGETS) == {
+            "sse", "altivec", "neon", "avx", "vsx", "scalar"
+        }
+
+    def test_lookup(self):
+        assert get_target("neon") is NEON
+        with pytest.raises(KeyError):
+            get_target("avx512")
+
+
+class TestVectorFactors:
+    """The VF table from §II: 16-byte targets hold 4 floats, NEON's 8-byte
+    registers hold 2 — the paper's running example."""
+
+    @pytest.mark.parametrize(
+        "target,elem,vf",
+        [
+            (SSE, F32, 4), (SSE, I16, 8), (SSE, I8, 16), (SSE, F64, 2),
+            (ALTIVEC, F32, 4), (ALTIVEC, I8, 16),
+            (NEON, F32, 2), (NEON, I16, 4), (NEON, I8, 8),
+            (AVX, F32, 8), (AVX, F64, 4),
+        ],
+    )
+    def test_vf(self, target, elem, vf):
+        assert target.vf(elem) == vf
+
+    def test_unsupported_elem_vf_is_one(self):
+        assert ALTIVEC.vf(F64) == 1  # no 64-bit support
+        assert NEON.vf(F64) == 1
+        assert AVX.vf(I32) == 1      # AVX1 is float-only
+
+    def test_scalar_target(self):
+        assert not SCALAR.has_simd
+        assert SCALAR.vf(F32) == 1
+
+
+class TestCapabilities:
+    def test_altivec_alignment_rules(self):
+        assert not ALTIVEC.supports_misaligned_load
+        assert not ALTIVEC.supports_misaligned_store
+        assert ALTIVEC.supports_explicit_realign
+
+    def test_sse_misaligned(self):
+        assert SSE.supports_misaligned_load
+        assert not SSE.supports_explicit_realign
+
+    def test_neon_library_idioms(self):
+        assert "widen_mult" in NEON.library_idioms
+        assert "cvt_intfp" in NEON.library_idioms
+        assert not SSE.library_idioms
+
+    def test_x86_register_famine(self):
+        assert SSE.gpr_count < ALTIVEC.gpr_count
+
+    def test_vsx_extends_altivec(self):
+        # The paper's SIII-A: realignment idioms are "available on some
+        # SIMD platforms (like AltiVec, VSX, SPU)"; VSX adds 64-bit
+        # elements and misaligned accesses on top of AltiVec.
+        assert VSX.supports_explicit_realign
+        assert VSX.supports_misaligned_load
+        assert VSX.vf(F64) == 2 and VSX.vf(I64) == 2
+
+    def test_cost_table_overrides(self):
+        assert SSE.cost.get("vload_u") > SSE.cost.get("vload_a")
+        assert SSE.cost.get("vstore_u") > SSE.cost.get("vstore_a")
+        # Unknown opcodes fall back to a default, never crash.
+        assert ALTIVEC.cost.get("made_up_op") == 1.0

@@ -1,0 +1,115 @@
+"""Tests for the IR type system."""
+
+import numpy as np
+import pytest
+
+from repro.ir.types import (
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    SCALAR_TYPES,
+    ScalarType,
+    VectorType,
+    narrowed,
+    scalar_type_from_name,
+    widened,
+)
+
+
+class TestScalarType:
+    def test_sizes(self):
+        assert I8.size == 1
+        assert I16.size == 2
+        assert I32.size == 4
+        assert I64.size == 8
+        assert F32.size == 4
+        assert F64.size == 8
+        assert BOOL.size == 1
+
+    def test_bits(self):
+        assert I16.bits == 16
+        assert F64.bits == 64
+
+    def test_float_flags(self):
+        assert F32.is_float and F64.is_float
+        assert not any(t.is_float for t in (I8, I16, I32, I64, BOOL))
+        assert I32.is_int and not F32.is_int
+
+    @pytest.mark.parametrize("t", [t for t in SCALAR_TYPES if t is not BOOL])
+    def test_numpy_dtype_width(self, t):
+        assert t.numpy_dtype.itemsize == t.size
+
+    def test_numpy_dtype_kind(self):
+        assert I8.numpy_dtype == np.dtype("int8")
+        assert F64.numpy_dtype == np.dtype("float64")
+
+    def test_min_max_values(self):
+        assert I8.min_value == -128
+        assert I8.max_value == 127
+        assert I16.max_value == 32767
+        assert F32.max_value > 1e38
+
+    def test_lookup_by_ir_name(self):
+        assert scalar_type_from_name("i16") is I16
+        assert scalar_type_from_name("f64") is F64
+
+    def test_lookup_by_c_name(self):
+        assert scalar_type_from_name("char") is I8
+        assert scalar_type_from_name("short") is I16
+        assert scalar_type_from_name("int") is I32
+        assert scalar_type_from_name("long") is I64
+        assert scalar_type_from_name("float") is F32
+        assert scalar_type_from_name("double") is F64
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            scalar_type_from_name("quad")
+
+    def test_equality_is_identity_like(self):
+        assert ScalarType("i32", 4, False) == I32
+
+
+class TestVectorType:
+    def test_symbolic(self):
+        vt = VectorType(F32)
+        assert vt.is_symbolic
+        assert vt.lanes is None
+        with pytest.raises(ValueError):
+            _ = vt.size
+
+    def test_concrete_size(self):
+        assert VectorType(F32, 4).size == 16
+        assert VectorType(I8, 16).size == 16
+
+    def test_with_lanes(self):
+        assert VectorType(F32).with_lanes(16).lanes == 4
+        assert VectorType(I16).with_lanes(8).lanes == 4
+
+    def test_repr(self):
+        assert repr(VectorType(F32)) == "<? x f32>"
+        assert repr(VectorType(I8, 16)) == "<16 x i8>"
+
+
+class TestWidening:
+    @pytest.mark.parametrize(
+        "narrow,wide", [(I8, I16), (I16, I32), (I32, I64), (F32, F64)]
+    )
+    def test_widened(self, narrow, wide):
+        assert widened(narrow) is wide
+        assert narrowed(wide) is narrow
+
+    def test_widened_top_raises(self):
+        with pytest.raises(KeyError):
+            widened(I64)
+        with pytest.raises(KeyError):
+            widened(F64)
+
+    def test_narrowed_bottom_raises(self):
+        with pytest.raises(KeyError):
+            narrowed(I8)
+        with pytest.raises(KeyError):
+            narrowed(F32)

@@ -1,0 +1,85 @@
+"""Verifier coverage for the split-layer idioms and If regions."""
+
+import pytest
+
+from repro.ir import (
+    F32,
+    I16,
+    I32,
+    Argument,
+    ArrayRef,
+    Const,
+    DotProduct,
+    Function,
+    IRBuilder,
+    If,
+    InitUniform,
+    RealignLoad,
+    VStore,
+    VectorType,
+    VerificationError,
+    Yield,
+    verify_function,
+)
+
+
+def _fn_with(builder_fn) -> Function:
+    n = Argument("n", I32)
+    a = ArrayRef("a", F32, (n,))
+    fn = Function("t", [n], [a], None)
+    b = IRBuilder(fn.body)
+    builder_fn(b, n, a)
+    b.ret(None)
+    return fn
+
+
+class TestIdiomChecks:
+    def test_dot_product_accumulator_must_be_widened(self):
+        def build(b, n, a):
+            v16 = b.emit(InitUniform(VectorType(I16), Const(1, I16)))
+            acc16 = b.emit(InitUniform(VectorType(I16), Const(0, I16)))
+            bad = DotProduct(v16, v16, acc16)  # acc must be i32
+            b.emit(bad)
+            b.emit(VStore(a, Const(0, I32), bad, 0, 0))
+
+        with pytest.raises(VerificationError):
+            verify_function(_fn_with(build))
+
+    def test_realign_mis_within_mod(self):
+        def build(b, n, a):
+            rl = RealignLoad(
+                VectorType(F32), a, Const(0, I32), None, None, None,
+                mis=40, mod=32,  # mis >= mod is malformed
+            )
+            b.emit(rl)
+            b.emit(VStore(a, Const(0, I32), rl, 0, 0))
+
+        with pytest.raises(VerificationError):
+            verify_function(_fn_with(build))
+
+    def test_realign_chain_all_or_nothing(self):
+        v = InitUniform(VectorType(F32), Const(0.0, F32))
+        a = ArrayRef("a", F32, (8,))
+        with pytest.raises(ValueError):
+            RealignLoad(VectorType(F32), a, Const(0, I32), v, None, None, 0, 0)
+
+    def test_if_arm_yield_arity(self):
+        def build(b, n, a):
+            cond = b.cmp("gt", n, Const(0, I32))
+            ifop = If(cond, [I32])
+            ifop.then_block.append(Yield([Const(1, I32)]))
+            ifop.else_block.append(Yield([]))  # wrong arity
+            b.emit(ifop)
+
+        with pytest.raises(VerificationError):
+            verify_function(_fn_with(build))
+
+    def test_valid_idiom_function_passes(self):
+        def build(b, n, a):
+            rl = RealignLoad(
+                VectorType(F32), a, Const(0, I32), None, None, None, 8, 32
+            )
+            b.emit(rl)
+            b.emit(VStore(a, Const(0, I32), rl, 0, 32))
+
+        verify_function(_fn_with(build))
