@@ -106,7 +106,7 @@ def _cmd_run(args) -> int:
         print(f"unknown flow {args.flow!r}; one of {sorted(FLOWS)}",
               file=sys.stderr)
         return 2
-    runner = FlowRunner()
+    runner = FlowRunner(engine=args.engine)
     inst = kernel.instantiate(args.size)
     result = runner.run(inst, args.flow, args.target)
     print(f"{result.kernel} via {result.flow} on {result.target}: "
@@ -117,9 +117,6 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    import runpy
-
-    sys.argv = ["paper_figures.py"] + ([args.out] if args.out else [])
     from .harness import (
         FlowRunner,
         figure5,
@@ -127,24 +124,40 @@ def _cmd_report(args) -> int:
         format_figure5,
         format_figure6,
         format_table3,
+        format_timings,
         table3,
     )
 
-    runner = FlowRunner()
+    jobs = args.jobs
+    runner = FlowRunner() if jobs <= 1 else None
     lines = []
+    timing_lines = []
     targets5 = args.targets.split(",") if args.targets else ["sse", "altivec"]
     targets6 = args.targets.split(",") if args.targets else [
         "sse", "altivec", "neon"
     ]
     for t in targets5:
-        lines.append(format_figure5(figure5(t, runner=runner)))
+        result = figure5(t, runner=runner, jobs=jobs, quick=args.quick)
+        lines.append(format_figure5(result))
         lines.append("")
+        timing_lines.append(
+            format_timings(result.cell_seconds, f"figure5/{t} timings")
+        )
     for t in targets6:
-        lines.append(format_figure6(figure6(t, runner=runner)))
+        result = figure6(t, runner=runner, jobs=jobs)
+        lines.append(format_figure6(result))
         lines.append("")
-    lines.append(format_table3(table3(runner=runner)))
+        timing_lines.append(
+            format_timings(result.cell_seconds, f"figure6/{t} timings")
+        )
+    lines.append(format_table3(table3(runner=runner or FlowRunner())))
     text = "\n".join(lines)
     print(text)
+    if args.timings:
+        # Wall-clock stats are machine-dependent; keep them out of the
+        # deterministic report body (stderr) so --jobs N output stays
+        # byte-identical to --jobs 1.
+        print("\n" + "\n\n".join(timing_lines), file=sys.stderr)
     if args.out:
         with open(args.out, "w") as f:
             f.write(text + "\n")
@@ -194,11 +207,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flow", default="split_vec_gcc4cli")
     p.add_argument("--target", default="sse")
     p.add_argument("--size", type=int, default=None)
+    p.add_argument("--engine", default="threaded",
+                   choices=["threaded", "reference"],
+                   help="execution engine (bit-identical results)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("report", help="regenerate the paper's figures/tables")
     p.add_argument("--out")
     p.add_argument("--targets", help="comma-separated target list")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes for the experiment sweeps "
+                   "(report output is byte-identical for any job count)")
+    p.add_argument("--quick", action="store_true",
+                   help="use the historical small Figure 5 problem sizes")
+    p.add_argument("--timings", action="store_true",
+                   help="print per-sweep wall-clock stats to stderr")
     p.set_defaults(func=_cmd_report)
     return parser
 

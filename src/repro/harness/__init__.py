@@ -15,12 +15,16 @@ from .experiments import (
     table3,
 )
 from .flows import FLOWS, FlowResult, FlowRunner
-from .report import format_figure5, format_figure6, format_table3
+from .parallel import Cell, CellResult, run_cells
+from .report import format_figure5, format_figure6, format_table3, format_timings
 
 __all__ = [
     "FlowRunner",
     "FlowResult",
     "FLOWS",
+    "Cell",
+    "CellResult",
+    "run_cells",
     "figure5",
     "figure6",
     "table3",
@@ -36,4 +40,5 @@ __all__ = [
     "format_figure5",
     "format_figure6",
     "format_table3",
+    "format_timings",
 ]

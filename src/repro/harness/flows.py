@@ -69,6 +69,12 @@ class FlowRunner:
     (0 = the JIT/native runtime aligns allocations, the default story).
     ``vectorizer_overrides`` feed the ablation experiments (e.g.
     ``enable_alignment_opts=False`` for §V-A.b).
+
+    ``engine`` selects the execution engine: ``"threaded"`` (default) runs
+    pre-decoded closure code (:mod:`repro.machine.threaded`), ``"reference"``
+    runs the decode-per-instruction reference interpreter.  The two are
+    differential-tested to be bit-identical (cycles, values, op counts), so
+    every figure/table is engine-independent.
     """
 
     def __init__(
@@ -77,15 +83,30 @@ class FlowRunner:
         check: bool = True,
         vectorizer_overrides: dict | None = None,
         use_bytecode_roundtrip: bool = True,
+        engine: str = "threaded",
     ) -> None:
+        if engine not in ("threaded", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.base_misalign = base_misalign
         self.check = check
         self.vectorizer_overrides = dict(vectorizer_overrides or {})
         self.use_bytecode_roundtrip = use_bytecode_roundtrip
+        self.engine = engine
         self._scalar_cache: dict = {}
         self._split_cache: dict = {}
         self._native_cache: dict = {}
         self._compiled_cache: dict = {}
+
+    def config(self) -> dict:
+        """Constructor kwargs reproducing this runner (minus its caches);
+        used to rebuild equivalent runners inside worker processes."""
+        return {
+            "base_misalign": self.base_misalign,
+            "check": self.check,
+            "vectorizer_overrides": dict(self.vectorizer_overrides),
+            "use_bytecode_roundtrip": self.use_bytecode_roundtrip,
+            "engine": self.engine,
+        }
 
     # -- offline stage --------------------------------------------------------
 
@@ -162,7 +183,10 @@ class FlowRunner:
             target = get_target(target)
         ck = self.compiled(instance, flow, target)
         bufs = self.make_buffers(instance)
-        result = VM(target).run(ck.mfunc, instance.scalar_args, bufs)
+        if self.engine == "threaded":
+            result = ck.threaded().run(instance.scalar_args, bufs)
+        else:
+            result = VM(target).run(ck.mfunc, instance.scalar_args, bufs)
         checked = False
         if self.check:
             self.verify(instance, bufs, result.value)

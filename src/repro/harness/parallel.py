@@ -1,0 +1,120 @@
+"""Process-parallel experiment sweeps.
+
+An experiment is a map over *cells* — (kernel, flow, target, size)
+tuples — each producing one :class:`~repro.harness.flows.FlowResult`.
+Cells are independent (the VM is deterministic and every worker builds
+its own :class:`FlowRunner`), so the sweep parallelizes across processes
+with :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism: results are returned in *input cell order* regardless of
+completion order (``Executor.map`` semantics), kernel instantiation is
+seeded, and the VM has no timing noise — so a report generated with
+``jobs=N`` is byte-identical to ``jobs=1``.  Only the per-cell wall-clock
+timings (reported separately) differ between runs.
+
+Worker processes keep a per-process :class:`FlowRunner` (compilation
+caches) and a per-process kernel-instance cache, so cells should be
+ordered kernel-major to maximize cache reuse within a chunk.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..kernels import get_kernel
+from .flows import FlowResult, FlowRunner
+
+__all__ = ["Cell", "CellResult", "run_cells"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (kernel x flow x target) execution of an experiment sweep."""
+
+    kernel: str
+    flow: str
+    target: str
+    size: int | None = None
+
+
+@dataclass
+class CellResult:
+    """A cell's flow result plus its wall-clock cost (compile + run)."""
+
+    cell: Cell
+    result: FlowResult
+    seconds: float
+
+
+# -- worker-process state -----------------------------------------------------
+
+_RUNNER: FlowRunner | None = None
+_INSTANCES: dict = {}
+
+
+def _init_worker(runner_kwargs: dict) -> None:
+    global _RUNNER
+    _RUNNER = FlowRunner(**runner_kwargs)
+    _INSTANCES.clear()
+
+
+def _instance(name: str, size: int | None):
+    key = (name, size)
+    inst = _INSTANCES.get(key)
+    if inst is None:
+        inst = _INSTANCES[key] = get_kernel(name).instantiate(size)
+    return inst
+
+
+def _run_cell(cell: Cell) -> CellResult:
+    inst = _instance(cell.kernel, cell.size)
+    start = time.perf_counter()
+    result = _RUNNER.run(inst, cell.flow, cell.target)
+    return CellResult(cell, result, time.perf_counter() - start)
+
+
+def run_cells(
+    cells,
+    jobs: int = 1,
+    runner: FlowRunner | None = None,
+    runner_kwargs: dict | None = None,
+) -> list[CellResult]:
+    """Run every cell; returns results in input order.
+
+    ``jobs=1`` runs serially in-process against ``runner`` (or a fresh
+    :class:`FlowRunner` built from ``runner_kwargs``), sharing its
+    compilation caches with the caller.  ``jobs>1`` fans the cells out to
+    a process pool; each worker builds its own runner from
+    ``runner_kwargs`` (a live runner's caches hold compiled closures and
+    are deliberately not shipped across the process boundary).
+    """
+    cells = list(cells)
+    if jobs <= 1:
+        if runner is None:
+            runner = FlowRunner(**(runner_kwargs or {}))
+        out = []
+        instances: dict = {}
+        for cell in cells:
+            key = (cell.kernel, cell.size)
+            inst = instances.get(key)
+            if inst is None:
+                inst = instances[key] = get_kernel(cell.kernel).instantiate(
+                    cell.size
+                )
+            start = time.perf_counter()
+            result = runner.run(inst, cell.flow, cell.target)
+            out.append(CellResult(cell, result, time.perf_counter() - start))
+        return out
+
+    kwargs = dict(runner_kwargs or {})
+    if runner is not None and not kwargs:
+        kwargs = runner.config()
+    # Chunk so each worker gets runs of consecutive (same-kernel) cells:
+    # the per-process compilation caches then hit within a chunk.
+    chunksize = max(1, len(cells) // (jobs * 4))
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_worker, initargs=(kwargs,)
+    ) as pool:
+        return list(pool.map(_run_cell, cells, chunksize=chunksize))

@@ -6,7 +6,14 @@ These renderers produce the figure/table layouts the paper reports, used by
 
 from __future__ import annotations
 
-__all__ = ["format_figure5", "format_figure6", "format_table3", "bar", "table"]
+__all__ = [
+    "format_figure5",
+    "format_figure6",
+    "format_table3",
+    "format_timings",
+    "bar",
+    "table",
+]
 
 
 def bar(value: float, scale: float = 20.0, maximum: float = 3.0) -> str:
@@ -59,6 +66,36 @@ def format_figure6(result) -> str:
     lines.append(table(["kernel", "normalized", ""], rows))
     lines.append("")
     lines.append(f"harmonic mean: {result.harmonic_mean:.2f}")
+    return "\n".join(lines)
+
+
+def format_timings(cell_seconds, title: str = "sweep timings") -> str:
+    """Summarize per-cell wall-clock stats from an experiment sweep.
+
+    ``cell_seconds`` is the ``(kernel, flow, seconds)`` list attached to a
+    figure result.  Timings are machine- and job-count-dependent, so this
+    is deliberately *not* part of the deterministic report body; callers
+    print it separately (or to stderr).
+    """
+    if not cell_seconds:
+        return f"{title}: no cells"
+    per_flow: dict[str, float] = {}
+    for _kernel, flow, seconds in cell_seconds:
+        per_flow[flow] = per_flow.get(flow, 0.0) + seconds
+    total = sum(per_flow.values())
+    slowest = max(cell_seconds, key=lambda c: c[2])
+    lines = [
+        f"{title}: {len(cell_seconds)} cells, {total:.2f}s wall-clock "
+        "(sum of per-cell compile+run)",
+        table(
+            ["flow", "seconds", "share"],
+            [
+                (flow, secs, f"{secs / total * 100:.0f}%")
+                for flow, secs in sorted(per_flow.items())
+            ],
+        ),
+        f"slowest cell: {slowest[0]} via {slowest[1]} ({slowest[2]:.2f}s)",
+    ]
     return "\n".join(lines)
 
 

@@ -49,6 +49,26 @@ class CompiledKernel:
     compile_seconds: float
     stats: dict = field(default_factory=dict)
     ir: Function | None = None
+    #: lazily-populated threaded-code translations, keyed by
+    #: ``(id(mfunc), target name, count_ops)``; see :meth:`threaded`.
+    _threaded: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def threaded(self, count_ops: bool = False):
+        """The machine code pre-decoded for the threaded engine.
+
+        Translation happens once per ``(mfunc, target, count_ops)`` and is
+        cached on the compiled kernel, so repeated executions (sweeps,
+        repeated benchmark runs) pay closure dispatch only.
+        """
+        key = (id(self.mfunc), self.target.name, count_ops)
+        code = self._threaded.get(key)
+        if code is None:
+            from ..machine.threaded import translate
+
+            code = self._threaded[key] = translate(
+                self.mfunc, self.target, count_ops
+            )
+        return code
 
 
 class _BaseCompiler:

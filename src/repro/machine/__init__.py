@@ -6,6 +6,7 @@ from .iaca import ThroughputReport, analyze_loop_throughput
 from .memory import GUARD_BYTES, ArrayBuffer
 from .mir import FPR, GPR, VEC, ArraySlot, MFunction, MInstr, VReg
 from .regalloc import AllocStats, allocate_linear_scan, allocate_local
+from .threaded import ThreadedCode, ThreadedVM, translate
 from .vm import VM, RunResult, VMError
 
 __all__ = [
@@ -23,6 +24,9 @@ __all__ = [
     "VM",
     "VMError",
     "RunResult",
+    "ThreadedVM",
+    "ThreadedCode",
+    "translate",
     "allocate_local",
     "allocate_linear_scan",
     "AllocStats",

@@ -79,31 +79,60 @@ class ArrayBuffer:
 
     def load_bytes(self, offset: int, nbytes: int) -> np.ndarray:
         start = self._base + offset
-        if start < 0 or start + nbytes > len(self._raw):
+        raw = self._raw
+        if start < 0 or start + nbytes > raw.shape[0]:
             raise IndexError(
                 f"out-of-bounds access: offset {offset}, {nbytes} bytes "
                 f"(array of {self.nbytes} data bytes + {GUARD_BYTES} guard)"
             )
-        return self._raw[start : start + nbytes]
+        return raw[start : start + nbytes]
 
     def load_vector(self, offset: int, dtype: np.dtype, lanes: int) -> np.ndarray:
-        raw = self.load_bytes(offset, dtype.itemsize * lanes)
-        return raw.view(dtype).copy()
+        # Inlined load_bytes: this is the VM engines' hottest memory path.
+        nbytes = dtype.itemsize * lanes
+        start = self._base + offset
+        raw = self._raw
+        if start < 0 or start + nbytes > raw.shape[0]:
+            raise IndexError(
+                f"out-of-bounds access: offset {offset}, {nbytes} bytes "
+                f"(array of {self.nbytes} data bytes + {GUARD_BYTES} guard)"
+            )
+        return raw[start : start + nbytes].view(dtype).copy()
 
     def store_vector(self, offset: int, values: np.ndarray) -> None:
-        raw = np.ascontiguousarray(values).view(np.uint8)
+        if not values.flags["C_CONTIGUOUS"]:
+            values = np.ascontiguousarray(values)
+        raw = values.view(np.uint8)
         start = self._base + offset
-        if start < 0 or start + raw.size > len(self._raw):
+        dst = self._raw
+        if start < 0 or start + raw.size > dst.shape[0]:
             raise IndexError(
                 f"out-of-bounds store: offset {offset}, {raw.size} bytes"
             )
-        self._raw[start : start + raw.size] = raw
+        dst[start : start + raw.size] = raw
 
     def load_scalar(self, offset: int, dtype: np.dtype):
-        return self.load_vector(offset, dtype, 1)[0]
+        nbytes = dtype.itemsize
+        start = self._base + offset
+        raw = self._raw
+        if start < 0 or start + nbytes > raw.shape[0]:
+            raise IndexError(
+                f"out-of-bounds access: offset {offset}, {nbytes} bytes "
+                f"(array of {self.nbytes} data bytes + {GUARD_BYTES} guard)"
+            )
+        # Unaligned element view: numpy handles the unaligned read; the
+        # scalar it returns is a value copy, never a view of the buffer.
+        return raw[start : start + nbytes].view(dtype)[0]
 
     def store_scalar(self, offset: int, value, dtype: np.dtype) -> None:
-        self.store_vector(offset, np.array([value], dtype=dtype))
+        nbytes = dtype.itemsize
+        start = self._base + offset
+        dst = self._raw
+        if start < 0 or start + nbytes > dst.shape[0]:
+            raise IndexError(
+                f"out-of-bounds store: offset {offset}, {nbytes} bytes"
+            )
+        dst[start : start + nbytes].view(dtype)[0] = value
 
     def address_of(self, offset: int) -> int:
         """Absolute simulated address of ``base + offset`` (for alignment

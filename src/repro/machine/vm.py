@@ -1,4 +1,4 @@
-"""The cycle-cost virtual machine.
+"""The cycle-cost virtual machine (reference interpreter).
 
 Executes :class:`~repro.machine.mir.MFunction` code against
 :class:`~repro.machine.memory.ArrayBuffer` memory, charging every
@@ -11,10 +11,19 @@ construction, because both flows execute on the same cost model.
 Alignment is enforced, not assumed: an aligned vector access to a
 misaligned address raises :class:`VMError`, so a compiler bug that would
 fault on AltiVec faults here too.
+
+This module is the *reference* engine: a deliberately simple decode-per-
+instruction interpreter that doubles as the executable specification of
+the opcode set.  The production-speed engine lives in
+:mod:`repro.machine.threaded`; it pre-decodes MIR into specialized Python
+closures and must stay bit-identical to this interpreter (enforced by
+``tests/test_threaded_vm.py``).  The single-source op semantics both
+engines share live here (``_BIN_FUNCS``/``_UN_FUNCS``/``_CMP``).
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,53 +62,89 @@ class RunResult:
     op_counts: dict[str, int] = field(default_factory=dict)
 
 
+# -- shared op semantics ------------------------------------------------------
+#
+# One function per canonical opcode, shared by the reference interpreter
+# (via :func:`_binop`/:func:`_unop`) and by the threaded engine's closure
+# factories (:mod:`repro.machine.threaded`).  Keeping a single source of
+# truth is what makes the two engines bit-identical by construction.
+
+
+def _trunc_div(a, b, dtype: np.dtype):
+    """C-style truncating integer division (shared by div and mod)."""
+    q = np.floor_divide(a, b)
+    r = a - q * b
+    fix = (r != 0) & ((a < 0) != (b < 0))
+    return (q + fix).astype(dtype)
+
+
+def _div(a, b, dtype: np.dtype):
+    if dtype.kind == "f":
+        return a / b
+    return _trunc_div(a, b, dtype)
+
+
+def _mod(a, b, dtype: np.dtype):
+    # One truncating division, shared with the div path (no re-dispatch).
+    q = _div(a, b, dtype)
+    return (a - q * b).astype(dtype)
+
+
+def _shl(a, b, dtype: np.dtype):
+    return (a << (b & (dtype.itemsize * 8 - 1))).astype(dtype)
+
+
+def _shr(a, b, dtype: np.dtype):
+    return (a >> (b & (dtype.itemsize * 8 - 1))).astype(dtype)
+
+
+#: canonical binary op name -> fn(a, b, dtype); vector ops use the same
+#: entry with the leading "v" stripped.
+_BIN_FUNCS = {
+    "add": lambda a, b, dt: a + b,
+    "sub": lambda a, b, dt: a - b,
+    "mul": lambda a, b, dt: a * b,
+    "div": _div,
+    "mod": _mod,
+    "min": lambda a, b, dt: np.minimum(a, b),
+    "max": lambda a, b, dt: np.maximum(a, b),
+    "and": lambda a, b, dt: a & b,
+    "or": lambda a, b, dt: a | b,
+    "xor": lambda a, b, dt: a ^ b,
+    "shl": _shl,
+    "shr": _shr,
+}
+
+#: canonical unary op name -> fn(a, dtype).
+_UN_FUNCS = {
+    "neg": lambda a, dt: (-a).astype(dt) if dt.kind != "f" else -a,
+    "abs": lambda a, dt: np.abs(a).astype(dt),
+    "not": lambda a, dt: ~a,
+    "sqrt": lambda a, dt: np.sqrt(a).astype(dt),
+}
+
+
+def _canon(op: str) -> str:
+    """Map a (possibly vector) mnemonic to its canonical scalar name."""
+    if op in _BIN_FUNCS or op in _UN_FUNCS:
+        return op
+    return op[1:]
+
+
 def _binop(op: str, a, b, dtype: np.dtype):
+    fn = _BIN_FUNCS.get(op) or _BIN_FUNCS.get(op[1:])
+    if fn is None:
+        raise VMError(f"unknown binary op {op}")
     with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
-        if op in ("add", "vadd"):
-            return a + b
-        if op in ("sub", "vsub"):
-            return a - b
-        if op in ("mul", "vmul"):
-            return a * b
-        if op in ("div", "vdiv"):
-            if dtype.kind == "f":
-                return a / b
-            # C-style truncating integer division.
-            q = np.floor_divide(a, b)
-            r = a - q * b
-            fix = (r != 0) & ((a < 0) != (b < 0))
-            return (q + fix).astype(dtype)
-        if op in ("mod", "vmod"):
-            q = _binop("div", a, b, dtype)
-            return (a - q * b).astype(dtype)
-        if op in ("min", "vmin"):
-            return np.minimum(a, b)
-        if op in ("max", "vmax"):
-            return np.maximum(a, b)
-        if op in ("and", "vand"):
-            return a & b
-        if op in ("or", "vor"):
-            return a | b
-        if op in ("xor", "vxor"):
-            return a ^ b
-        if op in ("shl", "vshl"):
-            return (a << (b & (dtype.itemsize * 8 - 1))).astype(dtype)
-        if op in ("shr", "vshr"):
-            return (a >> (b & (dtype.itemsize * 8 - 1))).astype(dtype)
-    raise VMError(f"unknown binary op {op}")
+        return fn(a, b, dtype)
 
 
 def _unop(op: str, a, dtype: np.dtype):
+    fn = _UN_FUNCS.get(op) or _UN_FUNCS.get(op[1:])
+    if fn is None:
+        raise VMError(f"unknown unary op {op}")
     with np.errstate(over="ignore", invalid="ignore"):
-        if op in ("neg", "vneg"):
-            return (-a).astype(dtype) if dtype.kind != "f" else -a
-        if op in ("abs", "vabs"):
-            return np.abs(a).astype(dtype)
-        if op in ("not", "vnot"):
-            return ~a
-        if op in ("sqrt", "vsqrt"):
-            return np.sqrt(a).astype(dtype)
-    raise VMError(f"unknown unary op {op}")
+        return fn(a, dtype)
 
 
 _CMP = {
@@ -109,7 +154,7 @@ _CMP = {
 
 
 class VM:
-    """Executes machine code for one target."""
+    """Executes machine code for one target (reference interpreter)."""
 
     def __init__(self, target: Target, max_instructions: int = 500_000_000):
         self.target = target
@@ -140,7 +185,12 @@ class VM:
         x87 = bool(mfunc.meta.get("x87"))
         cycles = 0.0
         executed = 0
-        op_counts: dict[str, int] = {}
+        # Accounting beyond cycles (per-op counts, the x87 FP surcharge) is
+        # hoisted behind a single precomputed flag so the common fast path
+        # (count_ops=False, non-x87 code) pays one local-bool test per
+        # instruction instead of two dict/set probes.
+        op_counts: Counter[str] = Counter()
+        slow_account = count_ops or x87
         spills: dict[int, object] = {}
         pc = 0
         n = len(instrs)
@@ -157,14 +207,15 @@ class VM:
                 )
             op = ins.op
             cycles += cost.get(op)
-            if count_ops:
-                op_counts[op] = op_counts.get(op, 0) + 1
+            if slow_account:
+                if count_ops:
+                    op_counts[op] += 1
+                if x87 and op in _FP_SCALAR_OPS:
+                    t = ins.imm.get("type")
+                    if isinstance(t, ScalarType) and t.is_float:
+                        cycles += X87_FP_EXTRA
             if op == "label":
                 continue
-            if x87 and op in _FP_SCALAR_OPS:
-                t = ins.imm.get("type")
-                if isinstance(t, ScalarType) and t.is_float:
-                    cycles += X87_FP_EXTRA
 
             if op == "const":
                 t: ScalarType = ins.imm["type"]

@@ -67,7 +67,7 @@ class TestReadmePromises:
 
     def test_docs_referenced_exist(self):
         for doc in ("architecture.md", "idioms.md", "bytecode_format.md",
-                    "performance_model.md", "kernels.md"):
+                    "performance_model.md", "kernels.md", "vm_engines.md"):
             assert (REPO / "docs" / doc).exists()
 
     def test_design_bench_targets_exist(self):

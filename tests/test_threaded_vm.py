@@ -1,0 +1,262 @@
+"""Differential tests: threaded engine vs reference interpreter.
+
+The threaded engine (:mod:`repro.machine.threaded`) pre-decodes an
+:class:`MFunction` into closure lists with block-level cycle aggregation.
+Its contract is *bit-identical observable behavior* to :class:`repro.machine.VM`:
+same return value, same cycle count, same executed-instruction count, same
+per-op counts, same memory effects — and the same :class:`VMError` (message
+included) on every trap (misalignment, unbound parameters, instruction
+budget).  These tests enforce that contract over the full kernel suite, all
+six targets, and all three online compilers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.flows import FlowRunner
+from repro.kernels import all_kernels, get_kernel
+from repro.machine import VM, VMError
+from repro.machine.threaded import ThreadedVM, translate
+from repro.targets import TARGETS, get_target
+
+#: The three online compilers of Figure 4, as flow names: the Mono-like JIT
+#: and the gcc4cli-like compiler consume the *split* bytecode, the native
+#: backend consumes the monolithic native IR.
+COMPILER_FLOWS = ("split_vec_mono", "split_vec_gcc4cli", "native_vec")
+
+ALL_TARGETS = tuple(TARGETS)
+
+
+def _diff_size(kernel) -> int | None:
+    """Small-but-representative sizes so the full matrix stays fast."""
+    if kernel.category != "kernel":
+        return None  # polybench defaults are already small (8-24)
+    return min(kernel.default_size, 32)
+
+
+@pytest.fixture(scope="module")
+def diff_runner() -> FlowRunner:
+    """Module-wide runner so offline/online compilations are cached across
+    the (kernel x target x compiler) matrix."""
+    return FlowRunner()
+
+
+def _run_both(runner, inst, flow, target_name):
+    """Run one compiled kernel through both engines; returns the two
+    RunResults plus the two buffer sets (for memory comparison)."""
+    target = get_target(target_name)
+    ck = runner.compiled(inst, flow, target)
+    ref_bufs = runner.make_buffers(inst)
+    ref = VM(target).run(ck.mfunc, inst.scalar_args, ref_bufs, count_ops=True)
+    thr_bufs = runner.make_buffers(inst)
+    thr = ck.threaded(count_ops=True).run(inst.scalar_args, thr_bufs)
+    return ref, thr, ref_bufs, thr_bufs
+
+
+def _assert_identical(ref, thr, ref_bufs, thr_bufs, what):
+    assert ref.instructions == thr.instructions, what
+    assert ref.cycles == thr.cycles, what
+    assert dict(ref.op_counts) == dict(thr.op_counts), what
+    if ref.value is None:
+        assert thr.value is None, what
+    else:
+        assert thr.value is not None and ref.value == thr.value, what
+    for name, buf in ref_bufs.items():
+        a = buf.read_elements()
+        b = thr_bufs[name].read_elements()
+        assert np.array_equal(a, b), f"{what}: array {name} diverged"
+
+
+@pytest.mark.parametrize("kernel", [k.name for k in all_kernels()])
+def test_engines_bit_identical(kernel, diff_runner):
+    """Full matrix: every kernel x target x compiler, both engines."""
+    k = get_kernel(kernel)
+    inst = k.instantiate(_diff_size(k))
+    for target_name in ALL_TARGETS:
+        for flow in COMPILER_FLOWS:
+            ref, thr, rb, tb = _run_both(diff_runner, inst, flow, target_name)
+            _assert_identical(
+                ref, thr, rb, tb, f"{kernel}/{flow}/{target_name}"
+            )
+
+
+def test_scalar_flows_bit_identical(diff_runner):
+    """The scalar flows (A and the gcc4cli scalar baseline) agree too."""
+    k = get_kernel("saxpy_fp")
+    inst = k.instantiate(32)
+    for flow in ("split_scalar_mono", "split_scalar_gcc4cli",
+                 "native_scalar"):
+        for target_name in ("sse", "scalar"):
+            ref, thr, rb, tb = _run_both(diff_runner, inst, flow, target_name)
+            _assert_identical(ref, thr, rb, tb, f"{flow}/{target_name}")
+
+
+def test_flow_runner_engines_agree(diff_runner):
+    """FlowRunner(engine=...) is figure-invisible: identical FlowResults."""
+    threaded = FlowRunner(engine="threaded")
+    reference = FlowRunner(engine="reference")
+    inst = get_kernel("sfir_fp").instantiate(32)
+    for flow in COMPILER_FLOWS:
+        a = threaded.run(inst, flow, "sse")
+        b = reference.run(inst, flow, "sse")
+        assert a.cycles == b.cycles
+        assert a.checked and b.checked
+
+
+def test_flow_runner_rejects_unknown_engine():
+    with pytest.raises(ValueError, match="unknown engine"):
+        FlowRunner(engine="jitjit")
+
+
+# -- trap parity --------------------------------------------------------------
+
+
+def _trap_of(fn):
+    """(exception type, message) raised by ``fn`` — or (None, None)."""
+    try:
+        fn()
+    except VMError as exc:  # noqa: PERF203 - deliberate
+        return type(exc), str(exc)
+    return None, None
+
+
+def test_trap_parity_misaligned_vector_load(diff_runner):
+    """Native code assumes runtime-aligned arrays; feeding it misaligned
+    buffers must trap *identically* in both engines."""
+    misaligned = FlowRunner(base_misalign=4, check=False)
+    inst = get_kernel("saxpy_fp").instantiate(32)
+    target = get_target("sse")
+    ck = misaligned.compiled(inst, "native_vec", target)
+
+    ref_trap = _trap_of(
+        lambda: VM(target).run(
+            ck.mfunc, inst.scalar_args, misaligned.make_buffers(inst)
+        )
+    )
+    thr_trap = _trap_of(
+        lambda: ck.threaded().run(
+            inst.scalar_args, misaligned.make_buffers(inst)
+        )
+    )
+    assert ref_trap[0] is VMError, "expected the reference VM to trap"
+    assert ref_trap == thr_trap
+    assert "misaligned address" in ref_trap[1]
+
+
+def test_trap_parity_unbound_array(diff_runner):
+    inst = get_kernel("saxpy_fp").instantiate(32)
+    target = get_target("sse")
+    ck = diff_runner.compiled(inst, "split_vec_gcc4cli", target)
+    ref_trap = _trap_of(lambda: VM(target).run(ck.mfunc, inst.scalar_args, {}))
+    thr_trap = _trap_of(lambda: ck.threaded().run(inst.scalar_args, {}))
+    assert ref_trap == thr_trap
+    assert ref_trap[0] is VMError and "not bound" in ref_trap[1]
+
+
+def test_trap_parity_unbound_scalar(diff_runner):
+    # find a kernel whose compiled form takes scalar parameters
+    for name in ("saxpy_fp", "sfir_fp", "dscal_fp"):
+        inst = get_kernel(name).instantiate(32)
+        target = get_target("sse")
+        ck = diff_runner.compiled(inst, "split_vec_gcc4cli", target)
+        if not ck.mfunc.scalar_params:
+            continue
+        bufs = diff_runner.make_buffers(inst)
+        ref_trap = _trap_of(lambda: VM(target).run(ck.mfunc, {}, bufs))
+        thr_trap = _trap_of(
+            lambda: ck.threaded().run({}, diff_runner.make_buffers(inst))
+        )
+        assert ref_trap == thr_trap
+        assert ref_trap[0] is VMError
+        assert "scalar parameter" in ref_trap[1]
+        return
+    pytest.skip("no kernel with scalar parameters found")
+
+
+def test_trap_parity_instruction_budget(diff_runner):
+    """The budget trap must fire after *exactly* the same instruction in
+    both engines — including when the overrun lands mid-block, which the
+    threaded engine handles by replaying the block per-instruction."""
+    inst = get_kernel("saxpy_fp").instantiate(32)
+    target = get_target("sse")
+    ck = diff_runner.compiled(inst, "split_vec_gcc4cli", target)
+    full = ck.threaded().run(
+        inst.scalar_args, diff_runner.make_buffers(inst)
+    )
+    n = full.instructions
+    for budget in (1, 7, n // 3, n // 2 + 1, n - 1):
+        ref_trap = _trap_of(
+            lambda: VM(target, max_instructions=budget).run(
+                ck.mfunc, inst.scalar_args, diff_runner.make_buffers(inst)
+            )
+        )
+        thr_trap = _trap_of(
+            lambda: ck.threaded().run(
+                inst.scalar_args, diff_runner.make_buffers(inst),
+                max_instructions=budget,
+            )
+        )
+        assert ref_trap[0] is VMError, f"budget {budget}/{n} did not trap"
+        assert "budget exceeded" in ref_trap[1]
+        assert ref_trap == thr_trap, f"budget {budget}/{n}"
+
+
+@pytest.mark.parametrize("budget", [10, 60, 10_000])
+def test_trap_parity_budget_vs_alignment_race(budget, diff_runner):
+    """With a misaligned buffer *and* a budget, whichever trap fires first
+    must be the same one (same message) in both engines."""
+    misaligned = FlowRunner(base_misalign=4, check=False)
+    inst = get_kernel("saxpy_fp").instantiate(32)
+    target = get_target("sse")
+    ck = misaligned.compiled(inst, "native_vec", target)
+    ref_trap = _trap_of(
+        lambda: VM(target, max_instructions=budget).run(
+            ck.mfunc, inst.scalar_args, misaligned.make_buffers(inst)
+        )
+    )
+    thr_trap = _trap_of(
+        lambda: ck.threaded().run(
+            inst.scalar_args, misaligned.make_buffers(inst),
+            max_instructions=budget,
+        )
+    )
+    assert ref_trap[0] is VMError
+    assert ref_trap == thr_trap
+
+
+# -- translation caching ------------------------------------------------------
+
+
+def test_threaded_vm_translation_cache(diff_runner):
+    inst = get_kernel("saxpy_fp").instantiate(32)
+    target = get_target("sse")
+    ck = diff_runner.compiled(inst, "split_vec_gcc4cli", target)
+    tvm = ThreadedVM(target)
+    first = tvm.translation(ck.mfunc)
+    assert tvm.translation(ck.mfunc) is first
+    # count_ops variants translate (and cache) separately
+    counting = tvm.translation(ck.mfunc, count_ops=True)
+    assert counting is not first
+    assert tvm.translation(ck.mfunc, count_ops=True) is counting
+
+
+def test_compiled_kernel_threaded_cache(diff_runner):
+    inst = get_kernel("dscal_fp").instantiate(32)
+    target = get_target("neon")
+    ck = diff_runner.compiled(inst, "split_vec_mono", target)
+    assert ck.threaded() is ck.threaded()
+    assert ck.threaded(count_ops=True) is not ck.threaded()
+
+
+def test_translate_is_reusable(diff_runner):
+    """One translation survives repeated runs with fresh buffers."""
+    inst = get_kernel("interp_fp").instantiate(32)
+    target = get_target("altivec")
+    ck = diff_runner.compiled(inst, "split_vec_gcc4cli", target)
+    code = translate(ck.mfunc, target)
+    r1 = code.run(inst.scalar_args, diff_runner.make_buffers(inst))
+    r2 = code.run(inst.scalar_args, diff_runner.make_buffers(inst))
+    assert r1.cycles == r2.cycles
+    assert r1.instructions == r2.instructions
