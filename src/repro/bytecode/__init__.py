@@ -8,6 +8,12 @@ from .codec import (
     encode_function,
     encode_module,
 )
+from .verify import (
+    BytecodeVerifyError,
+    verify_function_bytecode,
+    verify_module,
+    verify_module_bytes,
+)
 
 __all__ = [
     "encode_function",
@@ -16,4 +22,8 @@ __all__ = [
     "decode_module",
     "MAGIC",
     "FormatError",
+    "BytecodeVerifyError",
+    "verify_function_bytecode",
+    "verify_module",
+    "verify_module_bytes",
 ]

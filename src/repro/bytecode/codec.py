@@ -14,6 +14,10 @@ real encoded bytes.
 
 from __future__ import annotations
 
+import struct
+import zlib
+
+from .. import faults
 from ..ir import (
     ALoad,
     AlignLoad,
@@ -69,6 +73,7 @@ from ..ir.types import (
     VectorType,
     scalar_type_from_name,
 )
+from .verify import BytecodeVerifyError
 from .writer import FormatError, Reader, Writer
 
 __all__ = [
@@ -80,7 +85,11 @@ __all__ = [
     "FormatError",
 ]
 
-MAGIC = b"VBC1"
+#: container magic; VBC2 added the payload CRC-32 to the header.
+MAGIC = b"VBC2"
+
+#: bytes of container header: 4 magic + 4 CRC-32 (little-endian).
+_HEADER_BYTES = 8
 
 _SCALARS = [I8, I16, I32, I64, F32, F64, BOOL]
 _SCALAR_ID = {t.name: i for i, t in enumerate(_SCALARS)}
@@ -694,33 +703,121 @@ def encode_function(fn: Function) -> bytes:
 
 
 def decode_function(data: bytes) -> Function:
-    """Deserialize one function."""
-    return _Decoder(data).run()
+    """Deserialize one function (strict).
+
+    Every malformation — truncation, out-of-range opcode/type/operand
+    ids, malformed attribute values, trailing garbage — raises a
+    positioned :class:`FormatError`; stray ``IndexError``/``KeyError``
+    etc. from the raw reader never escape.
+    """
+    dec = _Decoder(data)
+    try:
+        fn = dec.run()
+    except FormatError:
+        raise
+    except (IndexError, KeyError, ValueError, TypeError, OverflowError,
+            AttributeError, AssertionError) as exc:
+        raise FormatError(
+            f"malformed function stream: {type(exc).__name__}: {exc}",
+            offset=dec.r.pos,
+        ) from None
+    if not dec.r.exhausted:
+        raise FormatError(
+            f"{len(data) - dec.r.pos} trailing bytes after function body",
+            offset=dec.r.pos,
+        )
+    return fn
 
 
 def encode_module(module: Module) -> bytes:
-    """Serialize a module with the VBC1 container header."""
-    w = Writer()
-    w.buf.extend(MAGIC)
-    w.varint(len(module.functions))
+    """Serialize a module with the VBC2 container header.
+
+    Layout: ``"VBC2"  u32le(crc32(payload))  payload`` where payload is
+    ``varint(function_count) { varint(len) function_bytes }*``.  The
+    CRC-32 makes any single-byte corruption of the container detectable
+    at decode time — corrupt streams are rejected before they can reach
+    the JIT or the VM.
+    """
+    p = Writer()
+    p.varint(len(module.functions))
     for fn in module:
         body = encode_function(fn)
-        w.varint(len(body))
-        w.buf.extend(body)
-    return w.bytes()
+        p.varint(len(body))
+        p.buf.extend(body)
+    payload = p.bytes()
+    out = bytearray(MAGIC)
+    out.extend(struct.pack("<I", zlib.crc32(payload) & 0xFFFFFFFF))
+    out.extend(payload)
+    # Fault-injection point: an active FaultPlan's bit-flips corrupt the
+    # stream here, exercising the decode-side defenses end to end.
+    return faults.corrupt(bytes(out))
 
 
 def decode_module(data: bytes) -> Module:
-    """Deserialize a VBC1 container."""
+    """Deserialize a VBC2 container (strict, checksum-verified).
+
+    Raises classified :class:`~repro.bytecode.verify.BytecodeVerifyError`
+    subtypes of :class:`FormatError`: ``bad-magic``, ``bad-checksum``,
+    ``truncated``, ``bad-function``, ``trailing``.
+    """
+    if len(data) < _HEADER_BYTES:
+        raise BytecodeVerifyError(
+            "truncated",
+            f"container of {len(data)} bytes, need >= {_HEADER_BYTES} "
+            f"header bytes",
+            offset=len(data),
+        )
     if data[:4] != MAGIC:
-        raise FormatError("bad magic")
-    r = Reader(data[4:])
+        raise BytecodeVerifyError(
+            "bad-magic",
+            f"bad magic: expected {MAGIC!r}, got {bytes(data[:4])!r}",
+            offset=0,
+        )
+    (stored,) = struct.unpack("<I", data[4:_HEADER_BYTES])
+    payload = data[_HEADER_BYTES:]
+    actual = zlib.crc32(payload) & 0xFFFFFFFF
+    if stored != actual:
+        raise BytecodeVerifyError(
+            "bad-checksum",
+            f"container checksum mismatch: header 0x{stored:08x}, "
+            f"payload 0x{actual:08x}",
+            offset=4,
+        )
+    r = Reader(payload)
     module = Module()
-    for _ in range(r.varint()):
+    count = r.varint()
+    if count < 0:
+        raise BytecodeVerifyError(
+            "truncated", f"negative function count {count}", offset=0
+        )
+    for i in range(count):
         n = r.varint()
+        if n < 0:
+            raise BytecodeVerifyError(
+                "truncated",
+                f"negative length {n} for function #{i}",
+                offset=_HEADER_BYTES + r.pos,
+            )
         chunk = r.data[r.pos : r.pos + n]
         if len(chunk) != n:
-            raise FormatError("truncated function")
+            raise BytecodeVerifyError(
+                "truncated",
+                f"truncated function #{i}: need {n} bytes, got {len(chunk)}",
+                offset=_HEADER_BYTES + r.pos,
+            )
         r.pos += n
-        module.add(decode_function(chunk))
+        try:
+            module.add(decode_function(chunk))
+        except BytecodeVerifyError:
+            raise
+        except FormatError as exc:
+            raise BytecodeVerifyError(
+                "bad-function", f"function #{i}: {exc}"
+            ) from None
+    if not r.exhausted:
+        raise BytecodeVerifyError(
+            "trailing",
+            f"{len(payload) - r.pos} trailing bytes after last function",
+            offset=_HEADER_BYTES + r.pos,
+        )
     return module

@@ -1,0 +1,167 @@
+"""Bytecode verification: validate decoded modules before JIT consumption.
+
+The split design hands the online compiler a bytecode stream produced on a
+*different* machine at a *different* time — the compiler must treat it as
+untrusted input.  Three independent defenses reject a corrupt stream
+before it can crash deep inside materialization or, worse, execute to a
+silently wrong answer:
+
+1. the **container checksum** (:func:`repro.bytecode.decode_module`): a
+   CRC-32 over the payload catches *any* single-byte (indeed any
+   burst-<32-bit) corruption of the encoded container;
+2. **strict decoding** (:mod:`repro.bytecode.codec`): truncation, bad
+   magic, out-of-range opcode/type/operand ids and malformed attribute
+   values raise positioned :class:`~repro.bytecode.writer.FormatError`\\ s
+   instead of leaking ``IndexError`` from the reader;
+3. **structural verification** (this module): the decoded IR is checked
+   against the full invariant set of :mod:`repro.ir.verifier` plus
+   bytecode-specific well-formedness rules (idiom operand shapes, group
+   ids, alignment hints) — catching corruptions of *semantic* bytes that
+   still decode.
+
+All rejections are classified :class:`BytecodeVerifyError`\\ s (a
+:class:`~repro.bytecode.writer.FormatError` subclass, hence a
+:class:`~repro.errors.ReproError`), each carrying a machine-readable
+``kind`` tag.
+"""
+
+from __future__ import annotations
+
+from ..ir import (
+    ForLoop,
+    Function,
+    IdiomInstr,
+    InitPattern,
+    Module,
+    RealignLoad,
+    Reduce,
+    VersionGuard,
+    VStore,
+    verify_function,
+    walk,
+)
+from ..ir.verifier import VerificationError
+from .writer import FormatError
+
+__all__ = [
+    "BytecodeVerifyError",
+    "verify_module",
+    "verify_function_bytecode",
+    "verify_module_bytes",
+    "KINDS",
+]
+
+#: classification tags carried by :class:`BytecodeVerifyError`.
+KINDS = (
+    "bad-magic",       # container prefix is not the VBC magic
+    "bad-checksum",    # payload does not match the header CRC-32
+    "truncated",       # stream ends mid-structure
+    "trailing",        # well-formed prefix followed by garbage
+    "bad-function",    # a function stream failed strict decoding
+    "bad-structure",   # decoded IR violates a structural/type invariant
+    "bad-idiom",       # a Table 1 idiom is malformed
+)
+
+
+class BytecodeVerifyError(FormatError):
+    """Classified bytecode verification failure.
+
+    Attributes:
+        kind: one of :data:`KINDS`.
+        offset: stream offset of the problem, when known.
+    """
+
+    def __init__(self, kind: str, message: str,
+                 offset: int | None = None) -> None:
+        super().__init__(f"[{kind}] {message}", offset=offset)
+        self.kind = kind
+
+
+def _bad_idiom(fn: Function, instr, why: str) -> BytecodeVerifyError:
+    return BytecodeVerifyError(
+        "bad-idiom", f"{fn.name}: {instr.mnemonic}: {why}"
+    )
+
+
+def verify_function_bytecode(fn: Function) -> None:
+    """Verify one decoded function; raises :class:`BytecodeVerifyError`.
+
+    Runs the full IR verifier (def-before-use, loop/yield arity, operand
+    types, memory-op shapes) and then the bytecode-specific idiom rules:
+
+    * ``group`` tags are non-negative integers;
+    * alignment hints satisfy ``0 <= mis`` and ``mod >= 0`` with
+      ``mis < mod`` when ``mod`` is known, and step sizes are positive;
+    * ``init_pattern`` carries a non-empty numeric pattern;
+    * ``reduc_*`` / ``version_guard`` kinds are from the known sets (the
+      decoder enforces this; re-checked here for IR built by other
+      producers);
+    * vector loops carry sane annotations (``vect_group`` int if present).
+    """
+    try:
+        verify_function(fn)
+    except VerificationError as exc:
+        raise BytecodeVerifyError(
+            "bad-structure", f"{fn.name}: {exc}"
+        ) from None
+
+    for instr in walk(fn.body):
+        if isinstance(instr, IdiomInstr):
+            g = getattr(instr, "group", None)
+            if g is not None and (not isinstance(g, int) or g < 0):
+                raise _bad_idiom(fn, instr, f"bad group tag {g!r}")
+        if isinstance(instr, (RealignLoad, VStore)):
+            if instr.mis < 0 or instr.mod < 0:
+                raise _bad_idiom(
+                    fn, instr, f"negative alignment hint "
+                    f"(mis={instr.mis}, mod={instr.mod})"
+                )
+            step = getattr(instr, "step_bytes", 0)
+            if step < 0:
+                raise _bad_idiom(fn, instr, f"negative step_bytes {step}")
+        if isinstance(instr, InitPattern):
+            pat = tuple(instr.pattern)
+            if not pat:
+                raise _bad_idiom(fn, instr, "empty pattern")
+            if not all(isinstance(v, (int, float)) for v in pat):
+                raise _bad_idiom(fn, instr, f"non-numeric pattern {pat!r}")
+        if isinstance(instr, Reduce) and instr.kind not in Reduce.KINDS:
+            raise _bad_idiom(fn, instr, f"unknown reduction {instr.kind!r}")
+        if isinstance(instr, VersionGuard):
+            if instr.kind not in VersionGuard.KINDS:
+                raise _bad_idiom(fn, instr, f"unknown guard {instr.kind!r}")
+            if not all(isinstance(k, str) for k in instr.params):
+                raise _bad_idiom(fn, instr, "non-string guard param keys")
+        if isinstance(instr, ForLoop):
+            vg = instr.annotations.get("vect_group")
+            if vg is not None and not isinstance(vg, int):
+                raise BytecodeVerifyError(
+                    "bad-structure",
+                    f"{fn.name}: loop vect_group tag {vg!r} is not an int",
+                )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function of a decoded module; raises
+    :class:`BytecodeVerifyError` on the first problem."""
+    seen: set[str] = set()
+    for fn in module:
+        if not fn.name:
+            raise BytecodeVerifyError("bad-structure", "unnamed function")
+        if fn.name in seen:
+            raise BytecodeVerifyError(
+                "bad-structure", f"duplicate function {fn.name!r}"
+            )
+        seen.add(fn.name)
+        verify_function_bytecode(fn)
+
+
+def verify_module_bytes(data: bytes) -> Module:
+    """Decode *and* verify a VBC container; the one-stop entry used by the
+    JIT path and the ``repro verify`` CLI.  Returns the verified module or
+    raises a classified :class:`~repro.bytecode.writer.FormatError`."""
+    from .codec import decode_module
+
+    module = decode_module(data)
+    verify_module(module)
+    return module

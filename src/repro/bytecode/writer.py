@@ -10,11 +10,24 @@ from __future__ import annotations
 
 import struct
 
+from ..errors import ReproError
+
 __all__ = ["Writer", "Reader", "FormatError"]
 
 
-class FormatError(Exception):
-    """Raised on malformed bytecode."""
+class FormatError(ReproError):
+    """Raised on malformed bytecode.
+
+    Attributes:
+        offset: byte offset into the stream where the problem was
+            detected (None when not applicable, e.g. encode-side errors).
+    """
+
+    def __init__(self, message: str, offset: int | None = None) -> None:
+        if offset is not None:
+            message = f"{message} (at stream offset {offset})"
+        super().__init__(message)
+        self.offset = offset
 
 
 class Writer:
@@ -90,7 +103,11 @@ class Reader:
 
     def u8(self) -> int:
         if self.pos >= len(self.data):
-            raise FormatError("truncated bytecode")
+            raise FormatError(
+                f"truncated bytecode: need 1 byte, stream ends at "
+                f"{len(self.data)}",
+                offset=self.pos,
+            )
         b = self.data[self.pos]
         self.pos += 1
         return b
@@ -98,6 +115,7 @@ class Reader:
     def varint(self) -> int:
         z = 0
         shift = 0
+        start = self.pos
         while True:
             b = self.u8()
             z |= (b & 0x7F) << shift
@@ -105,25 +123,40 @@ class Reader:
                 break
             shift += 7
             if shift > 70:
-                raise FormatError("varint too long")
+                raise FormatError("varint too long", offset=start)
         return (z >> 1) ^ -(z & 1)
 
     def f64(self) -> float:
         raw = self.data[self.pos : self.pos + 8]
         if len(raw) != 8:
-            raise FormatError("truncated float")
+            raise FormatError(
+                f"truncated float: need 8 bytes, got {len(raw)}",
+                offset=self.pos,
+            )
         self.pos += 8
         return struct.unpack("<d", raw)[0]
 
     def string(self) -> str:
+        start = self.pos
         n = self.varint()
+        if n < 0:
+            raise FormatError(f"negative string length {n}", offset=start)
         raw = self.data[self.pos : self.pos + n]
         if len(raw) != n:
-            raise FormatError("truncated string")
+            raise FormatError(
+                f"truncated string: need {n} bytes, got {len(raw)}",
+                offset=self.pos,
+            )
         self.pos += n
-        return raw.decode("utf-8")
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FormatError(
+                f"malformed utf-8 string: {exc}", offset=self.pos - n
+            ) from None
 
     def value(self):
+        start = self.pos
         tag = self.u8()
         if tag == 0:
             return None
@@ -139,7 +172,7 @@ class Reader:
             return tuple(self.value() for _ in range(self.varint()))
         if tag == 6:
             return {self.string(): self.value() for _ in range(self.varint())}
-        raise FormatError(f"bad value tag {tag}")
+        raise FormatError(f"bad value tag {tag}", offset=start)
 
     @property
     def exhausted(self) -> bool:

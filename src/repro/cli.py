@@ -11,6 +11,10 @@ Commands mirror the toolchain's stages:
 * ``run``      — execute a built-in kernel through one of the Figure 4
   flows on a target, with correctness checking.
 * ``report``   — regenerate the paper's figures/tables.
+* ``verify``   — decode *and* structurally verify a .vbc container,
+  reporting the classified rejection (kind + stream offset) on failure.
+* ``chaos``    — run a seeded fault-injection campaign across every
+  layer and assert the fail-soft invariant (see docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -165,6 +169,44 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .bytecode import verify_module_bytes
+    from .bytecode.writer import FormatError
+
+    data = open(args.bytecode, "rb").read()
+    try:
+        module = verify_module_bytes(data)
+    except FormatError as exc:
+        kind = getattr(exc, "kind", "format")
+        offset = getattr(exc, "offset", None)
+        where = f" at offset {offset}" if offset is not None else ""
+        print(f"{args.bytecode}: REJECTED [{kind}]{where}: {exc}",
+              file=sys.stderr)
+        return 1
+    fns = ", ".join(fn.name for fn in module)
+    print(f"{args.bytecode}: OK ({len(data)} bytes, "
+          f"{len(module.functions)} function(s): {fns})")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from .harness.chaos import run_campaign
+
+    report = run_campaign(
+        n_faults=args.faults,
+        seed=args.seed,
+        size=args.size,
+        include_harness=args.harness,
+    )
+    print(report.summary())
+    if not report.ok:
+        for t in report.failures:
+            print(f"  FAIL {t.layer}/{t.kernel}: {t.fault} -> "
+                  f"{t.outcome}: {t.detail}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -223,6 +265,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timings", action="store_true",
                    help="print per-sweep wall-clock stats to stderr")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "verify", help="decode and structurally verify a .vbc container"
+    )
+    p.add_argument("bytecode")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign (fail-soft check)"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", type=int, default=200,
+                   help="number of faults to inject")
+    p.add_argument("--size", type=int, default=16,
+                   help="kernel problem size for the trials")
+    p.add_argument("--harness", action="store_true",
+                   help="also inject worker crash/stall into a real "
+                   "process-pool sweep (slower)")
+    p.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -1,0 +1,313 @@
+"""Seeded fault injection for the fail-soft pipeline.
+
+Cross-target SIMD translation layers live or die by their fallback paths
+(Revec; SIMD-Everywhere) — and fallback paths rot unless they are
+exercised.  This module provides a deterministic, seeded fault-injection
+framework with injection points threaded through every layer of the
+toolchain:
+
+* **bytecode** (:mod:`repro.bytecode.codec`): bit-flips of the encoded
+  stream, exercising the container checksum and the stream verifier;
+* **JIT** (:mod:`repro.jit.materialize`): forced per-idiom lowering
+  failures and whole-function materialization failures, exercising
+  loop-granularity scalarization fallback and the compile-level retry;
+* **VM** (:mod:`repro.machine.vm` / :mod:`repro.machine.threaded`):
+  memory faults on the N-th memory access — raised identically by both
+  engines — and base misalignment, exercising trap classification;
+* **harness** (:mod:`repro.harness.parallel`): simulated worker crashes
+  (``os._exit``) and deadline overruns, exercising pool recovery,
+  retry-with-backoff, and cell quarantine.
+
+A :class:`FaultPlan` is plain picklable data, so it ships to sweep worker
+processes.  Faults are *installed* for a dynamic extent::
+
+    from repro import faults
+
+    plan = faults.FaultPlan([faults.MemFault(after=12)])
+    with faults.injected(plan):
+        run_result = kernel.run(...)      # traps with a classified VMError
+
+Injected exceptions carry the :class:`~repro.errors.FaultInjected` marker
+mixin on top of their ordinary classification, so chaos campaigns can
+tell an injected trap from a genuine one without special-casing messages.
+
+The injection points are dormant (a single ``is None`` test) when no plan
+is installed, so the production path pays effectively nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from .errors import FaultInjected
+
+__all__ = [
+    "FaultPlan",
+    "BitFlip",
+    "LoweringFault",
+    "MaterializeFault",
+    "MemFault",
+    "MisalignFault",
+    "WorkerCrash",
+    "WorkerStall",
+    "injected",
+    "install",
+    "uninstall",
+    "active_plan",
+    "lowering_fails",
+    "materialize_fails",
+    "corrupt",
+    "worker_fault",
+]
+
+
+# -- fault descriptions (plain picklable data) --------------------------------
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """Flip one bit of an encoded bytecode stream.
+
+    ``offset``/``bit`` of ``None`` choose a seeded-random position over
+    the stream (header included), so a campaign covers magic, checksum,
+    and payload corruption alike.
+    """
+
+    offset: int | None = None
+    bit: int | None = None
+
+
+@dataclass(frozen=True)
+class LoweringFault:
+    """Force per-idiom lowering failure: any vector loop group containing
+    a matching idiom on a matching target degrades to its scalar loop
+    version (``"*"`` matches everything)."""
+
+    idiom: str = "*"
+    target: str = "*"
+
+
+@dataclass(frozen=True)
+class MaterializeFault:
+    """Force whole-function materialization to fail on first (vector)
+    attempt, exercising the compile-level retry that re-materializes with
+    every group scalarized."""
+
+    target: str = "*"
+
+
+@dataclass(frozen=True)
+class MemFault:
+    """Raise a classified VM memory fault on the ``after``-th memory
+    access (scalar or vector, load or store; 1-based).  Both VM engines
+    observe the identical access stream, so the trap — type and message —
+    is engine-independent by construction."""
+
+    after: int = 1
+
+
+@dataclass(frozen=True)
+class MisalignFault:
+    """Simulate an allocator that does not align array bases: harness
+    buffers are built with ``base_misalign`` bytes of skew."""
+
+    misalign: int = 4
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Hard-kill (``os._exit``) the sweep worker that picks up a matching
+    cell — the process dies mid-task, as a segfault would."""
+
+    kernel: str = "*"
+    flow: str = "*"
+    exit_code: int = 17
+
+
+@dataclass(frozen=True)
+class WorkerStall:
+    """Stall a matching cell past any reasonable deadline (sleep), so the
+    per-cell timeout machinery must reclaim the worker."""
+
+    kernel: str = "*"
+    flow: str = "*"
+    seconds: float = 3600.0
+
+
+def _match(pattern: str, value: str) -> bool:
+    return pattern == "*" or pattern == value
+
+
+#: lazily created once (VMError cannot be imported at module load — the VM
+#: imports this module); a single class object keeps trap *types* identical
+#: across engines and across repeated installs.
+_INJECTED_VM_FAULT: type | None = None
+
+
+def injected_vm_fault_cls() -> type:
+    """The ``InjectedVMFault(VMError, FaultInjected)`` class, created on
+    first use and cached."""
+    global _INJECTED_VM_FAULT
+    if _INJECTED_VM_FAULT is None:
+        from .machine.vm import VMError
+
+        class InjectedVMFault(VMError, FaultInjected):
+            """A :class:`MemFault` firing (never raised in production)."""
+
+        InjectedVMFault.__module__ = __name__
+        InjectedVMFault.__qualname__ = "InjectedVMFault"
+        _INJECTED_VM_FAULT = InjectedVMFault
+    return _INJECTED_VM_FAULT
+
+
+class FaultPlan:
+    """An immutable, picklable set of faults plus the seed that resolves
+    any random positions (bit-flip offsets)."""
+
+    def __init__(self, faults=(), seed: int = 0) -> None:
+        self.faults = tuple(faults)
+        self.seed = int(seed)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, faults={list(self.faults)})"
+
+    def __reduce__(self):
+        return (FaultPlan, (self.faults, self.seed))
+
+    def _of(self, cls):
+        return [f for f in self.faults if isinstance(f, cls)]
+
+    # -- bytecode layer -----------------------------------------------------
+
+    def corrupt(self, data: bytes) -> bytes:
+        """Apply the plan's :class:`BitFlip` faults to ``data``."""
+        flips = self._of(BitFlip)
+        if not flips:
+            return data
+        rng = random.Random(self.seed)
+        out = bytearray(data)
+        for f in flips:
+            if not out:
+                break
+            off = f.offset if f.offset is not None else rng.randrange(len(out))
+            bit = f.bit if f.bit is not None else rng.randrange(8)
+            out[off % len(out)] ^= 1 << (bit % 8)
+        return bytes(out)
+
+    # -- JIT layer ----------------------------------------------------------
+
+    def lowering_fails(self, idiom: str, target: str) -> bool:
+        return any(
+            _match(f.idiom, idiom) and _match(f.target, target)
+            for f in self._of(LoweringFault)
+        )
+
+    def materialize_fails(self, target: str) -> bool:
+        return any(_match(f.target, target) for f in self._of(MaterializeFault))
+
+    # -- VM layer -----------------------------------------------------------
+
+    def make_mem_hook(self):
+        """A fresh countdown closure for the plan's first :class:`MemFault`
+        (one per install, so repeated runs under one plan re-arm)."""
+        mem = self._of(MemFault)
+        if not mem:
+            return None
+        after = max(1, int(mem[0].after))
+        state = [0]
+
+        def hook(op: str, array: str) -> None:
+            state[0] += 1
+            if state[0] == after:
+                raise injected_vm_fault_cls()(
+                    f"injected memory fault at access #{after} "
+                    f"(op {op}, array {array})"
+                )
+
+        return hook
+
+    def misalign(self) -> int | None:
+        mis = self._of(MisalignFault)
+        return mis[0].misalign if mis else None
+
+    # -- harness layer ------------------------------------------------------
+
+    def worker_fault(self, kernel: str, flow: str):
+        """The first :class:`WorkerCrash`/:class:`WorkerStall` matching the
+        cell, or None."""
+        for f in self.faults:
+            if isinstance(f, (WorkerCrash, WorkerStall)) and _match(
+                f.kernel, kernel
+            ) and _match(f.flow, flow):
+                return f
+        return None
+
+
+# -- installation (dynamic extent) --------------------------------------------
+
+#: the currently installed plan (None = all injection points dormant).
+_ACTIVE: FaultPlan | None = None
+
+#: memory-access hook consulted by both VM engines at every memory op;
+#: kept as a plain module global so the check is one attribute load.
+mem_hook = None
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan``; arms a fresh memory-fault countdown."""
+    global _ACTIVE, mem_hook
+    _ACTIVE = plan
+    mem_hook = plan.make_mem_hook()
+    return plan
+
+
+def uninstall() -> None:
+    """Remove any installed plan; every injection point goes dormant."""
+    global _ACTIVE, mem_hook
+    _ACTIVE = None
+    mem_hook = None
+
+
+@contextmanager
+def injected(plan: FaultPlan):
+    """Install ``plan`` for the duration of the ``with`` block."""
+    global _ACTIVE, mem_hook
+    prev_active, prev_hook = _ACTIVE, mem_hook
+    install(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE, mem_hook = prev_active, prev_hook
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed :class:`FaultPlan`, or None."""
+    return _ACTIVE
+
+
+# -- convenience wrappers used at the injection points ------------------------
+
+
+def lowering_fails(idiom: str, target: str) -> bool:
+    """JIT injection point: should lowering ``idiom`` for ``target`` be
+    forced to fail under the active plan?"""
+    return _ACTIVE is not None and _ACTIVE.lowering_fails(idiom, target)
+
+
+def materialize_fails(target: str) -> bool:
+    """JIT injection point: should whole-function materialization for
+    ``target`` be forced to fail under the active plan?"""
+    return _ACTIVE is not None and _ACTIVE.materialize_fails(target)
+
+
+def corrupt(data: bytes) -> bytes:
+    """Bytecode injection point: corrupt ``data`` per the active plan."""
+    return data if _ACTIVE is None else _ACTIVE.corrupt(data)
+
+
+def worker_fault(kernel: str, flow: str):
+    """Harness injection point: the crash/stall fault matching this sweep
+    cell under the active plan, or None."""
+    return None if _ACTIVE is None else _ACTIVE.worker_fault(kernel, flow)

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+from ..errors import ReproError
 from .tokens import KEYWORDS, PUNCT, Token
 
 __all__ = ["tokenize", "LexError"]
 
 
-class LexError(Exception):
+class LexError(ReproError):
     """Raised on an unrecognized character or malformed literal."""
 
     def __init__(self, message: str, line: int, col: int) -> None:

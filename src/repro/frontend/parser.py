@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ..errors import ReproError
 from .ast_nodes import (
     ArrayParam,
     AssignStmt,
@@ -45,7 +46,7 @@ _PRECEDENCE = [
 ]
 
 
-class ParseError(Exception):
+class ParseError(ReproError):
     """Raised on a syntax error, with source position."""
 
     def __init__(self, message: str, token: Token) -> None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ReproError
 from ..ir.types import BOOL, F32, F64, I32, ScalarType, scalar_type_from_name
 from .ast_nodes import (
     ArrayParam,
@@ -46,7 +47,7 @@ _LOGIC_OPS = ("&&", "||")
 _BITWISE_OPS = ("&", "|", "^", "<<", ">>", "%")
 
 
-class SemaError(Exception):
+class SemaError(ReproError):
     """Raised on a type or name error, with the source line."""
 
     def __init__(self, message: str, line: int) -> None:

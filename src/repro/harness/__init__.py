@@ -15,7 +15,7 @@ from .experiments import (
     table3,
 )
 from .flows import FLOWS, FlowResult, FlowRunner
-from .parallel import Cell, CellResult, run_cells
+from .parallel import Cell, CellError, CellResult, run_cells
 from .report import format_figure5, format_figure6, format_table3, format_timings
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "FlowResult",
     "FLOWS",
     "Cell",
+    "CellError",
     "CellResult",
     "run_cells",
     "figure5",

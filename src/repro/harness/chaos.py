@@ -1,0 +1,310 @@
+"""Seeded chaos campaigns over the fail-soft pipeline.
+
+A campaign draws ``n_faults`` faults from a seeded RNG, injects each into
+the matching layer of the toolchain, and classifies the observable
+outcome.  The **chaos invariant** asserted by :meth:`ChaosReport.ok`:
+
+    every injected fault leads to a *correct* result (possibly via the
+    scalar-fallback degradation path) or a *classified* trap — never a
+    silent wrong answer and never an unclassified traceback.
+
+Layers and their pass criteria:
+
+========================= ==================================================
+layer                     passing outcomes
+========================= ==================================================
+``bytecode``              bit-flipped container rejected by a classified
+                          :class:`~repro.bytecode.writer.FormatError`
+                          before any IR reaches the JIT
+``jit-lowering``          forced idiom-lowering failure degrades the loop
+                          group to scalar; run still checks against numpy
+``jit-materialize``       whole-function materialization failure triggers
+                          the force-scalar compile retry; run still checks
+``vm-mem``                injected memory fault raises the *identical*
+                          classified VMError from both execution engines
+``vm-misalign``           skewed array bases either still check or raise a
+                          classified VMError (alignment trap)
+``harness``               crashed/stalled workers are quarantined; every
+                          other cell of the sweep completes and checks
+========================= ==================================================
+
+Failing outcomes — ``silent-wrong`` (corruption accepted), ``wrong-answer``
+(fallback produced values that fail the numpy check), ``unclassified-trap``
+(an exception outside the :mod:`repro.errors` taxonomy), and
+``parity-mismatch`` (the two VM engines disagree on a trap) — make the
+campaign fail.
+
+Campaigns are deterministic in ``seed`` and run single-process (the
+``harness`` layer, which needs real worker processes, is opt-in via
+``include_harness``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .. import faults
+from ..bytecode import encode_module
+from ..errors import classify, is_classified
+from ..frontend import compile_source
+from ..kernels import get_kernel
+from ..vectorizer import split_config, vectorize_module
+from .flows import CheckError, FlowRunner
+
+__all__ = ["ChaosTrial", "ChaosReport", "run_campaign", "LAYERS"]
+
+#: injection layers with their campaign weights.
+LAYERS = ("bytecode", "jit-lowering", "jit-materialize", "vm-mem",
+          "vm-misalign")
+_WEIGHTS = (40, 20, 5, 20, 15)
+
+#: failing outcome tags (anything else passes).
+FAILING = ("silent-wrong", "wrong-answer", "unclassified-trap",
+           "parity-mismatch")
+
+_DEFAULT_KERNELS = ("saxpy_fp", "dscal_fp", "interp_fp", "sfir_fp")
+_IDIOMS = ("*", "realign_load", "vstore", "reduc_plus", "init_uniform")
+_TARGETS = ("sse", "altivec", "neon")
+_FLOWS = ("split_vec_mono", "split_vec_gcc4cli")
+
+
+@dataclass(frozen=True)
+class ChaosTrial:
+    """One injected fault and its observed outcome."""
+
+    layer: str
+    kernel: str
+    fault: str
+    outcome: str  # trapped | degraded-correct | correct | quarantined | FAILING
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome not in FAILING
+
+
+@dataclass
+class ChaosReport:
+    """The outcome census of one campaign."""
+
+    seed: int
+    trials: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(t.ok for t in self.trials)
+
+    @property
+    def failures(self) -> list:
+        return [t for t in self.trials if not t.ok]
+
+    def counts(self) -> dict:
+        out: dict[str, int] = {}
+        for t in self.trials:
+            out[t.outcome] = out.get(t.outcome, 0) + 1
+        return dict(sorted(out.items()))
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos campaign: seed={self.seed}, "
+            f"{len(self.trials)} faults injected"
+        ]
+        for outcome, n in self.counts().items():
+            flag = "  !!" if outcome in FAILING else ""
+            lines.append(f"  {outcome:18s} {n:4d}{flag}")
+        lines.append("invariant " + ("HELD" if self.ok else "VIOLATED"))
+        return "\n".join(lines)
+
+
+def _encoded(kernel: str, size: int, cache: dict) -> bytes:
+    blob = cache.get(kernel)
+    if blob is None:
+        inst = get_kernel(kernel).instantiate(size)
+        module = compile_source(inst.source, inst.name)
+        blob = cache[kernel] = encode_module(
+            vectorize_module(module, split_config())
+        )
+    return blob
+
+
+def _classified_outcome(exc: Exception) -> ChaosTrial | tuple[str, str]:
+    if isinstance(exc, CheckError):
+        return ("wrong-answer", str(exc))
+    if is_classified(exc):
+        return ("trapped", classify(exc))
+    return ("unclassified-trap", f"{type(exc).__name__}: {exc}")
+
+
+def _trial_bytecode(kernel: str, size: int, rng, cache) -> ChaosTrial:
+    from ..bytecode import decode_module
+
+    data = _encoded(kernel, size, cache)
+    flip = faults.BitFlip(offset=rng.randrange(len(data)),
+                          bit=rng.randrange(8))
+    corrupted = faults.FaultPlan([flip]).corrupt(data)
+    try:
+        decode_module(corrupted)
+    except Exception as exc:
+        outcome, detail = _classified_outcome(exc)
+        return ChaosTrial("bytecode", kernel, repr(flip), outcome, detail)
+    return ChaosTrial(
+        "bytecode", kernel, repr(flip), "silent-wrong",
+        "corrupted container decoded without a trap",
+    )
+
+
+def _run_checked(kernel: str, size: int, flow: str, target: str,
+                 plan, **runner_kwargs):
+    """(FlowResult, CompiledKernel) under an installed plan."""
+    from ..targets import get_target
+
+    runner = FlowRunner(**runner_kwargs)
+    inst = get_kernel(kernel).instantiate(size)
+    with faults.injected(plan):
+        result = runner.run(inst, flow, target)
+        ck = runner.compiled(inst, flow, get_target(target))
+    return result, ck
+
+
+def _trial_jit(kernel: str, size: int, rng, materialize: bool) -> ChaosTrial:
+    flow = rng.choice(_FLOWS)
+    target = rng.choice(_TARGETS)
+    if materialize:
+        fault = faults.MaterializeFault(target="*")
+        layer = "jit-materialize"
+    else:
+        fault = faults.LoweringFault(idiom=rng.choice(_IDIOMS), target="*")
+        layer = "jit-lowering"
+    plan = faults.FaultPlan([fault])
+    try:
+        result, ck = _run_checked(kernel, size, flow, target, plan)
+    except Exception as exc:
+        outcome, detail = _classified_outcome(exc)
+        return ChaosTrial(layer, kernel, repr(fault), outcome, detail)
+    if not result.checked:
+        return ChaosTrial(layer, kernel, repr(fault), "silent-wrong",
+                          "result was not checked")
+    outcome = "degraded-correct" if ck.degraded else "correct"
+    detail = "; ".join(f"{e.cause}" for e in ck.events)
+    return ChaosTrial(layer, kernel, repr(fault), outcome, detail)
+
+
+def _trial_vm_mem(kernel: str, size: int, rng) -> ChaosTrial:
+    flow = rng.choice(_FLOWS)
+    target = rng.choice(_TARGETS)
+    after = rng.randrange(1, 80)
+    fault = faults.MemFault(after=after)
+    observed = {}
+    for engine in ("threaded", "reference"):
+        plan = faults.FaultPlan([fault])
+        try:
+            result, _ck = _run_checked(
+                kernel, size, flow, target, plan, engine=engine
+            )
+            observed[engine] = (
+                ("correct", "") if result.checked
+                else ("silent-wrong", "unchecked")
+            )
+        except Exception as exc:
+            observed[engine] = _classified_outcome(exc) + (str(exc),)
+    a, b = observed["threaded"], observed["reference"]
+    if a != b:
+        return ChaosTrial(
+            "vm-mem", kernel, repr(fault), "parity-mismatch",
+            f"threaded={a} reference={b}",
+        )
+    outcome, detail = a[0], a[1]
+    return ChaosTrial("vm-mem", kernel, repr(fault), outcome, detail)
+
+
+def _trial_vm_misalign(kernel: str, size: int, rng) -> ChaosTrial:
+    flow = rng.choice(_FLOWS)
+    target = rng.choice(_TARGETS)
+    mis = rng.choice((1, 2, 3, 4, 5, 7, 8, 12))
+    fault = faults.MisalignFault(misalign=mis)
+    plan = faults.FaultPlan([fault])
+    try:
+        result, _ck = _run_checked(
+            kernel, size, flow, target, plan,
+            base_misalign=plan.misalign() or 0,
+        )
+    except Exception as exc:
+        outcome, detail = _classified_outcome(exc)
+        return ChaosTrial("vm-misalign", kernel, repr(fault), outcome, detail)
+    if not result.checked:
+        return ChaosTrial("vm-misalign", kernel, repr(fault), "silent-wrong",
+                          "result was not checked")
+    return ChaosTrial("vm-misalign", kernel, repr(fault), "correct", "")
+
+
+def _trials_harness(kernels, size: int, rng, timeout: float) -> list:
+    """One crashed and one stalled sweep (worker processes required)."""
+    from .parallel import Cell, run_cells
+
+    out = []
+    cells = [
+        Cell(k, flow, "sse", size) for k in kernels for flow in _FLOWS
+    ]
+    for fault in (
+        faults.WorkerCrash(kernel=rng.choice(kernels)),
+        faults.WorkerStall(kernel=rng.choice(kernels), seconds=3600.0),
+    ):
+        plan = faults.FaultPlan([fault])
+        results = run_cells(
+            cells, jobs=2, fault_plan=plan, timeout=timeout, retries=1
+        )
+        bad = [r for r in results if not r.ok]
+        wrongly_ok = [r for r in bad if r.cell.kernel != fault.kernel]
+        missing = len(results) != len(cells)
+        if wrongly_ok or missing or not bad:
+            out.append(ChaosTrial(
+                "harness", fault.kernel, repr(fault), "silent-wrong",
+                f"quarantined={[(r.cell.kernel, r.cell.flow) for r in bad]} "
+                f"of {len(results)}/{len(cells)} results",
+            ))
+        else:
+            out.append(ChaosTrial(
+                "harness", fault.kernel, repr(fault), "quarantined",
+                f"{len(bad)} cell(s) quarantined "
+                f"({bad[0].error_kind}), {len(results) - len(bad)} completed",
+            ))
+    return out
+
+
+def run_campaign(
+    n_faults: int = 200,
+    seed: int = 0,
+    kernels=_DEFAULT_KERNELS,
+    size: int = 16,
+    include_harness: bool = False,
+    harness_timeout: float = 10.0,
+) -> ChaosReport:
+    """Inject ``n_faults`` seeded faults; returns the outcome census.
+
+    Deterministic in ``seed``.  ``include_harness`` adds two process-pool
+    sweeps (a worker crash and a worker stall) on top of ``n_faults``.
+    """
+    rng = random.Random(seed)
+    kernels = tuple(kernels)
+    report = ChaosReport(seed=seed)
+    enc_cache: dict = {}
+    for _ in range(int(n_faults)):
+        layer = rng.choices(LAYERS, weights=_WEIGHTS)[0]
+        kernel = rng.choice(kernels)
+        if layer == "bytecode":
+            t = _trial_bytecode(kernel, size, rng, enc_cache)
+        elif layer == "jit-lowering":
+            t = _trial_jit(kernel, size, rng, materialize=False)
+        elif layer == "jit-materialize":
+            t = _trial_jit(kernel, size, rng, materialize=True)
+        elif layer == "vm-mem":
+            t = _trial_vm_mem(kernel, size, rng)
+        else:
+            t = _trial_vm_misalign(kernel, size, rng)
+        report.trials.append(t)
+    if include_harness:
+        report.trials.extend(
+            _trials_harness(kernels, size, rng, harness_timeout)
+        )
+    return report

@@ -98,7 +98,11 @@ def _sweep(kernels, flows, target, sizes, jobs, runner):
         for flow in flows
     ]
     results = run_cells(cells, jobs=jobs, runner=runner)
-    cycles = {(r.cell.kernel, r.cell.flow): r.result.cycles for r in results}
+    cycles = {
+        (r.cell.kernel, r.cell.flow):
+            r.result.cycles if r.result is not None else float("nan")
+        for r in results
+    }
     timings = [(r.cell.kernel, r.cell.flow, r.seconds) for r in results]
     return cycles, timings
 

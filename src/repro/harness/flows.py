@@ -22,6 +22,7 @@ from functools import lru_cache
 import numpy as np
 
 from ..bytecode import decode_function, encode_function
+from ..errors import ReproError
 from ..frontend import compile_source
 from ..ir import Function
 from ..jit import CompiledKernel, MonoJIT, NativeBackend, OptimizingJIT
@@ -58,8 +59,12 @@ class FlowResult:
     stats: dict = field(default_factory=dict)
 
 
-class CheckError(AssertionError):
-    """A flow produced results that disagree with the numpy reference."""
+class CheckError(ReproError, AssertionError):
+    """A flow produced results that disagree with the numpy reference.
+
+    Also an :class:`AssertionError` for backward compatibility with tests
+    that assert on the check failure directly.
+    """
 
 
 class FlowRunner:

@@ -7,6 +7,7 @@ runs it on every kernel before and after vectorization.
 
 from __future__ import annotations
 
+from ..errors import ReproError
 from .idioms import DotProduct, RealignLoad, VStore
 from .instructions import BinOp, Cmp, Convert, Instr, Load, Select, Store
 from .structure import Block, ForLoop, Function, If, Return, Yield
@@ -16,7 +17,7 @@ from .values import ArrayRef, BlockArg, Const, Value
 __all__ = ["verify_function", "VerificationError"]
 
 
-class VerificationError(Exception):
+class VerificationError(ReproError):
     """Raised when the IR violates an invariant."""
 
 

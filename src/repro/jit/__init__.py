@@ -2,7 +2,12 @@
 two JIT personalities (Mono-like, gcc4cli-like)."""
 
 from .compilers import CompiledKernel, MonoJIT, NativeBackend, OptimizingJIT
-from .materialize import MaterializeError, MaterializeOptions, materialize
+from .materialize import (
+    DegradationEvent,
+    MaterializeError,
+    MaterializeOptions,
+    materialize,
+)
 from .specialize import SpecializationError, specialize_scalars
 
 __all__ = [
@@ -13,6 +18,7 @@ __all__ = [
     "materialize",
     "MaterializeOptions",
     "MaterializeError",
+    "DegradationEvent",
     "specialize_scalars",
     "SpecializationError",
 ]

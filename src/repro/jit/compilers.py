@@ -34,7 +34,12 @@ from ..machine import (
 )
 from ..passes import eliminate_dead_code, optimize
 from ..targets.base import Target
-from .materialize import MaterializeOptions, materialize
+from .materialize import (
+    DegradationEvent,
+    MaterializeError,
+    MaterializeOptions,
+    materialize,
+)
 
 __all__ = ["CompiledKernel", "MonoJIT", "OptimizingJIT", "NativeBackend"]
 
@@ -49,6 +54,13 @@ class CompiledKernel:
     compile_seconds: float
     stats: dict = field(default_factory=dict)
     ir: Function | None = None
+    #: True when any vector loop group fell back to its scalar version (or
+    #: the whole function re-materialized force-scalar after a
+    #: MaterializeError) — the run is still correct, just slower.
+    degraded: bool = False
+    #: the structured :class:`~repro.jit.materialize.DegradationEvent`\\ s
+    #: explaining *why* (empty on a clean vector compile).
+    events: list = field(default_factory=list)
     #: lazily-populated threaded-code translations, keyed by
     #: ``(id(mfunc), target name, count_ops)``; see :meth:`threaded`.
     _threaded: dict = field(default_factory=dict, repr=False, compare=False)
@@ -84,19 +96,41 @@ class _BaseCompiler:
         self.runtime_aligns = runtime_aligns
         self.scalar_via_loop_bound = scalar_via_loop_bound
 
-    def compile(self, fn: Function, target: Target) -> CompiledKernel:
-        """Compile IR (scalar or vectorized bytecode) to machine code."""
-        start = time.perf_counter()
-        work = clone_function(fn)
-        work, mstats = materialize(
-            work,
-            target,
-            MaterializeOptions(
-                fold_guards_top_only=self.fold_guards_top_only,
-                runtime_aligns=self.runtime_aligns,
-                scalar_via_loop_bound=self.scalar_via_loop_bound,
-            ),
+    def _options(self, force_scalar: bool = False) -> MaterializeOptions:
+        return MaterializeOptions(
+            fold_guards_top_only=self.fold_guards_top_only,
+            runtime_aligns=self.runtime_aligns,
+            scalar_via_loop_bound=self.scalar_via_loop_bound,
+            force_scalar=force_scalar,
         )
+
+    def compile(self, fn: Function, target: Target) -> CompiledKernel:
+        """Compile IR (scalar or vectorized bytecode) to machine code.
+
+        Fail-soft: a whole-function :class:`MaterializeError` on the first
+        (vector) attempt triggers one retry with every loop group forced
+        scalar — a slower but correct compilation — and the kernel is
+        marked ``degraded`` with the cause recorded in ``events``.
+        """
+        start = time.perf_counter()
+        try:
+            work = clone_function(fn)
+            work, mstats = materialize(work, target, self._options())
+        except MaterializeError as exc:
+            work = clone_function(fn)
+            work, mstats = materialize(
+                work, target, self._options(force_scalar=True)
+            )
+            mstats.setdefault("degradation_events", []).insert(
+                0,
+                DegradationEvent(
+                    function=fn.name,
+                    target=target.name,
+                    group=None,
+                    cause="forced-scalar",
+                    detail=f"materialization retry after: {exc}",
+                ),
+            )
         if self.opt_level >= 2:
             optimize(work, level=2)
         else:
@@ -121,16 +155,19 @@ class _BaseCompiler:
             mfunc.meta["x87"] = True
         elapsed = time.perf_counter() - start
         stats = dict(mstats)
+        events = list(stats.pop("degradation_events", []))
         stats.update(
             {
                 "spilled_values": alloc.spilled_values,
                 "spill_loads": alloc.spill_loads,
                 "spill_stores": alloc.spill_stores,
                 "minstrs": len(mfunc.instrs),
+                "degraded_groups": len(events),
             }
         )
         return CompiledKernel(
-            mfunc, target, self.name, elapsed, stats, ir=work
+            mfunc, target, self.name, elapsed, stats, ir=work,
+            degraded=bool(events), events=events,
         )
 
 

@@ -26,8 +26,10 @@ happens here) and:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from .. import faults
+from ..errors import FaultInjected, ReproError
 from ..ir import (
     ALoad,
     AlignLoad,
@@ -68,12 +70,45 @@ from ..ir.types import BOOL, ScalarType, VectorType
 from ..machine import ops as mops
 from ..targets.base import Target
 
-__all__ = ["materialize", "MaterializeOptions", "MaterializeError"]
+__all__ = [
+    "materialize",
+    "MaterializeOptions",
+    "MaterializeError",
+    "DegradationEvent",
+]
 
 
-class MaterializeError(Exception):
+class MaterializeError(ReproError):
     """Raised when bytecode cannot be lowered for the target (compiler bug
     — the mode analysis should have chosen scalarization)."""
+
+
+class InjectedMaterializeFault(MaterializeError, FaultInjected):
+    """A :class:`~repro.faults.MaterializeFault` firing (never raised by
+    the production path)."""
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One vector loop group degrading to its scalar version on a SIMD
+    target — the fail-soft path taken instead of a hard compile error.
+
+    Attributes:
+        function: function being materialized.
+        target: online compilation target.
+        group: ``vect_group`` id of the degraded loop trio (None for a
+            whole-function forced-scalar retry).
+        cause: machine-readable reason — one of ``"unsupported-elem"``,
+            ``"unsupported-store"``, ``"pattern-mismatch"``,
+            ``"fault-injected"``, ``"forced-scalar"``.
+        detail: human-readable specifics.
+    """
+
+    function: str
+    target: str
+    group: int | None
+    cause: str
+    detail: str = ""
 
 
 @dataclass
@@ -97,12 +132,17 @@ class MaterializeOptions:
     #: scalar peel loop — the naive scalarization §III-B.c warns about.
     #: Only sound for kernels without widening idioms.
     scalar_via_loop_bound: bool = True
+    #: Fail-soft retry knob: scalarize *every* vector loop group, used by
+    #: the compile-level retry after a whole-function MaterializeError.
+    force_scalar: bool = False
 
 
 @dataclass
 class _GroupMode:
     mode: str  # "vector" | "scalar"
     library: set  # idiom mnemonics routed through call_lib
+    cause: str | None = None  # why a SIMD target degraded to scalar
+    detail: str = ""
 
 
 class _Materializer:
@@ -113,6 +153,8 @@ class _Materializer:
         self.stats = {"guards_folded": 0, "guards_runtime": 0,
                       "chains_kept": 0, "chains_dropped": 0,
                       "loops_scalarized": 0, "loops_vectorized": 0}
+        #: structured fail-soft records (one per degraded loop group).
+        self.events: list[DegradationEvent] = []
         #: values that replaced bases_aligned guards, so the If that tests
         #: them still establishes the aligned context after substitution.
         self._align_values: set[int] = set()
@@ -123,10 +165,20 @@ class _Materializer:
         t = self.target
         if not t.has_simd:
             return _GroupMode("scalar", set())
+        if self.options.force_scalar:
+            return _GroupMode("scalar", set(), "forced-scalar",
+                              "compile-level scalar retry")
         library: set[str] = set()
         valign = main.annotations.get("valign", {})
         aligned_ctx = self._aligned_ctx_flag
         for instr in walk(main.body):
+            if isinstance(instr, IdiomInstr) and faults.lowering_fails(
+                instr.mnemonic, t.name
+            ):
+                return _GroupMode(
+                    "scalar", set(), "fault-injected",
+                    f"injected lowering failure for {instr.mnemonic}",
+                )
             vt = instr.type
             elems = []
             if isinstance(vt, VectorType):
@@ -138,7 +190,10 @@ class _Materializer:
                 if elem == BOOL:
                     continue
                 if not t.supports_elem(elem):
-                    return _GroupMode("scalar", set())
+                    return _GroupMode(
+                        "scalar", set(), "unsupported-elem",
+                        f"{t.name} has no {elem.name} vectors",
+                    )
             if isinstance(instr, WidenMult) and "widen_mult" in t.library_idioms:
                 library.add("widen_mult")
             if isinstance(instr, CvtIntFp) and "cvt_intfp" in t.library_idioms:
@@ -149,12 +204,19 @@ class _Materializer:
                 if not self._store_aligned(instr, valign, aligned_ctx) and (
                     not t.supports_misaligned_store
                 ):
-                    return _GroupMode("scalar", set())
+                    return _GroupMode(
+                        "scalar", set(), "unsupported-store",
+                        f"misaligned vector store @{instr.array.name} "
+                        f"unsupported on {t.name}",
+                    )
             if isinstance(instr, InitPattern):
                 g = len(instr.pattern)
                 vf = t.vf(instr.type.elem)
                 if vf % g != 0:
-                    return _GroupMode("scalar", set())
+                    return _GroupMode(
+                        "scalar", set(), "pattern-mismatch",
+                        f"pattern width {g} does not divide VF {vf}",
+                    )
         return _GroupMode("vector", library)
 
     def _peel_count(self, valign: dict) -> int | None:
@@ -198,6 +260,13 @@ class _Materializer:
     # -- driver ---------------------------------------------------------------
 
     def run(self) -> Function:
+        if not self.options.force_scalar and faults.materialize_fails(
+            self.target.name
+        ):
+            raise InjectedMaterializeFault(
+                f"injected materialization failure for {self.fn.name} "
+                f"on {self.target.name}"
+            )
         self._aligned_ctx_flag = self.options.runtime_aligns
         self._rewrite_block(self.fn.body, {}, depth=0,
                             aligned_ctx=self.options.runtime_aligns,
@@ -243,6 +312,18 @@ class _Materializer:
                         self.stats["loops_vectorized"] += 1
                     else:
                         self.stats["loops_scalarized"] += 1
+                        if gm.cause is not None:
+                            ev = DegradationEvent(
+                                function=self.fn.name,
+                                target=self.target.name,
+                                group=gid,
+                                cause=gm.cause,
+                                detail=gm.detail,
+                            )
+                            # A group's loop trio may appear in several
+                            # versioned branches; report it once.
+                            if ev not in self.events:
+                                self.events.append(ev)
 
         new_instrs: list[Instr] = []
         for instr in block.instrs:
@@ -561,7 +642,13 @@ class _Materializer:
 def materialize(
     fn: Function, target: Target, options: MaterializeOptions | None = None
 ) -> tuple[Function, dict]:
-    """Materialize ``fn`` in place for ``target``; returns (fn, stats)."""
+    """Materialize ``fn`` in place for ``target``; returns (fn, stats).
+
+    ``stats["degradation_events"]`` carries the structured
+    :class:`DegradationEvent` list (empty on a clean vector compile).
+    """
     m = _Materializer(fn, target, options or MaterializeOptions())
     out = m.run()
-    return out, m.stats
+    stats = dict(m.stats)
+    stats["degradation_events"] = list(m.events)
+    return out, stats

@@ -16,13 +16,14 @@ costing a test per invocation.
 
 from __future__ import annotations
 
+from ..errors import ReproError
 from ..ir import Argument, Const, Function, Value, clone_block, walk
 from ..ir.types import ScalarType
 
 __all__ = ["specialize_scalars", "SpecializationError"]
 
 
-class SpecializationError(Exception):
+class SpecializationError(ReproError):
     """Raised for unknown parameter names or non-scalar bindings."""
 
 

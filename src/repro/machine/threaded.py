@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import faults
 from ..ir.types import ScalarType
 from ..targets.base import X87_FP_EXTRA, Target
 from .memory import GUARD_BYTES, ArrayBuffer
@@ -375,18 +376,24 @@ class ThreadedCode:
             return step
 
         if op == "load":
-            cell = self._cell(imm["array"])
+            name = imm["array"]
+            cell = self._cell(name)
             dt = imm["type"].numpy_dtype
 
-            def step(regs, d=d, s=ss[0], cell=cell, dt=dt):
+            def step(regs, d=d, s=ss[0], cell=cell, dt=dt, name=name):
+                if faults.mem_hook is not None:
+                    faults.mem_hook("load", name)
                 regs[d] = cell[0].load_scalar(int(regs[s]), dt)
             return step
 
         if op == "store":
-            cell = self._cell(imm["array"])
+            name = imm["array"]
+            cell = self._cell(name)
             dt = imm["type"].numpy_dtype
 
-            def step(regs, s0=ss[0], s1=ss[1], cell=cell, dt=dt):
+            def step(regs, s0=ss[0], s1=ss[1], cell=cell, dt=dt, name=name):
+                if faults.mem_hook is not None:
+                    faults.mem_hook("store", name)
                 cell[0].store_scalar(int(regs[s0]), regs[s1], dt)
             return step
 
@@ -471,6 +478,8 @@ class ThreadedCode:
 
                 def step(regs, d=d, s=ss[0], cell=cell, dt=dt, nb=nb,
                          vs=vs, name=name):
+                    if faults.mem_hook is not None:
+                        faults.mem_hook("vload_a", name)
                     buf = cell[0]
                     off = int(regs[s])
                     start = buf._base + off
@@ -491,7 +500,9 @@ class ThreadedCode:
             elif op == "vload_fa":
 
                 def step(regs, d=d, s=ss[0], cell=cell, dt=dt, nb=nb,
-                         vs=vs):
+                         vs=vs, name=name):
+                    if faults.mem_hook is not None:
+                        faults.mem_hook("vload_fa", name)
                     buf = cell[0]
                     off = int(regs[s])
                     off -= (buf._base + off) % vs
@@ -506,7 +517,10 @@ class ThreadedCode:
                     regs[d] = raw[start : start + nb].view(dt).copy()
             else:
 
-                def step(regs, d=d, s=ss[0], cell=cell, dt=dt, nb=nb):
+                def step(regs, d=d, s=ss[0], cell=cell, dt=dt, nb=nb,
+                         name=name):
+                    if faults.mem_hook is not None:
+                        faults.mem_hook("vload_u", name)
                     buf = cell[0]
                     off = int(regs[s])
                     start = buf._base + off
@@ -528,6 +542,8 @@ class ThreadedCode:
 
                 def step(regs, s0=ss[0], s1=ss[1], cell=cell, vs=vs,
                          name=name):
+                    if faults.mem_hook is not None:
+                        faults.mem_hook("vstore_a", name)
                     buf = cell[0]
                     off = int(regs[s0])
                     start = buf._base + off
@@ -549,7 +565,9 @@ class ThreadedCode:
                     dst[start : start + raw.size] = raw
             else:
 
-                def step(regs, s0=ss[0], s1=ss[1], cell=cell):
+                def step(regs, s0=ss[0], s1=ss[1], cell=cell, name=name):
+                    if faults.mem_hook is not None:
+                        faults.mem_hook("vstore_u", name)
                     buf = cell[0]
                     off = int(regs[s0])
                     start = buf._base + off

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import faults
+from ..errors import ReproError
 from ..ir.types import BOOL, ScalarType
 from ..targets.base import X87_FP_EXTRA, Target
 from .memory import ArrayBuffer
@@ -48,7 +50,7 @@ _VECTOR_UN = {"vneg", "vabs", "vnot", "vsqrt"}
 _FP_SCALAR_OPS = _SCALAR_BIN | _SCALAR_UN | {"cmp", "cvt", "select", "mov"}
 
 
-class VMError(Exception):
+class VMError(ReproError):
     """Raised on alignment traps, unbound arrays, or runaway execution."""
 
 
@@ -257,11 +259,15 @@ class VM:
                         v = int(v)
                     regs[ins.dst.id] = to.numpy_dtype.type(np.int64(v))
             elif op == "load":
+                if faults.mem_hook is not None:
+                    faults.mem_hook("load", ins.imm["array"])
                 buf = arrays[ins.imm["array"]]
                 t = ins.imm["type"]
                 off = int(regs[ins.srcs[0].id])
                 regs[ins.dst.id] = buf.load_scalar(off, t.numpy_dtype)
             elif op == "store":
+                if faults.mem_hook is not None:
+                    faults.mem_hook("store", ins.imm["array"])
                 buf = arrays[ins.imm["array"]]
                 t = ins.imm["type"]
                 off = int(regs[ins.srcs[0].id])
@@ -323,6 +329,8 @@ class VM:
                     dt.type(base) + np.arange(lanes, dtype=dt) * dt.type(inc)
                 ).astype(dt)
         elif op in ("vload_a", "vload_u", "vload_fa"):
+            if faults.mem_hook is not None:
+                faults.mem_hook(op, ins.imm["array"])
             buf = arrays[ins.imm["array"]]
             elem, lanes = ins.imm["elem"], ins.imm["lanes"]
             off = int(regs[ins.srcs[0].id])
@@ -338,6 +346,8 @@ class VM:
                 off -= abs_addr % vs
             regs[ins.dst.id] = buf.load_vector(off, elem.numpy_dtype, lanes)
         elif op in ("vstore_a", "vstore_u"):
+            if faults.mem_hook is not None:
+                faults.mem_hook(op, ins.imm["array"])
             buf = arrays[ins.imm["array"]]
             off = int(regs[ins.srcs[0].id])
             if op == "vstore_a" and buf.address_of(off) % vs != 0:

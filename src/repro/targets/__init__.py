@@ -1,7 +1,17 @@
 """SIMD target descriptors (SSE, AltiVec, NEON, AVX, scalar)."""
 
 from .base import BASE_COSTS, X87_FP_EXTRA, CostTable, Target
-from .defs import ALTIVEC, AVX, NEON, SCALAR, SSE, TARGETS, VSX, get_target
+from .defs import (
+    ALTIVEC,
+    AVX,
+    NEON,
+    SCALAR,
+    SSE,
+    TARGETS,
+    VSX,
+    UnknownTargetError,
+    get_target,
+)
 
 __all__ = [
     "Target",
@@ -16,4 +26,5 @@ __all__ = [
     "SCALAR",
     "TARGETS",
     "get_target",
+    "UnknownTargetError",
 ]

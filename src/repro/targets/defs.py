@@ -20,10 +20,12 @@ the paper reports, not exact microarchitectural numbers:
 
 from __future__ import annotations
 
+from ..errors import ReproError
 from ..ir.types import F32, F64, I8, I16, I32, I64
 from .base import CostTable, Target
 
-__all__ = ["SSE", "ALTIVEC", "NEON", "AVX", "VSX", "SCALAR", "TARGETS", "get_target"]
+__all__ = ["SSE", "ALTIVEC", "NEON", "AVX", "VSX", "SCALAR", "TARGETS",
+           "get_target", "UnknownTargetError"]
 
 SSE = Target(
     name="sse",
@@ -130,11 +132,20 @@ TARGETS: dict[str, Target] = {
 }
 
 
+class UnknownTargetError(ReproError, KeyError):
+    """Unknown target name.  Also a :class:`KeyError` for backward
+    compatibility with lookup-style callers."""
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
 def get_target(name: str) -> Target:
-    """Look up a target by name; raises KeyError with the known set."""
+    """Look up a target by name; raises :class:`UnknownTargetError` (a
+    KeyError) with the known set."""
     try:
         return TARGETS[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownTargetError(
             f"unknown target {name!r}; known: {sorted(TARGETS)}"
         ) from None

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis.affine import Affine, affine_of
+from ..errors import ReproError
 from ..analysis.alignment import MisalignmentHint, misalignment_hint
 from ..analysis.memrefs import linearize
 from ..ir import (
@@ -73,7 +74,7 @@ __all__ = [
 ]
 
 
-class PlanError(Exception):
+class PlanError(ReproError):
     """Raised when access shapes defeat the stream planner; the driver
     leaves the loop scalar."""
 

@@ -1,0 +1,94 @@
+"""Chaos campaign: >= 200 seeded fault injections, zero silent wrong
+answers, zero unclassified tracebacks.
+
+This is the closing argument of the fail-soft pipeline: whatever a seeded
+adversary corrupts — bytecode bytes, idiom lowering, materialization, VM
+memory accesses, array alignment — the toolchain either produces a
+numpy-checked correct answer (possibly via the scalar degradation path)
+or raises a classified :class:`~repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.chaos import FAILING, LAYERS, ChaosTrial, run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """One 200-fault campaign shared by the assertions below."""
+    return run_campaign(n_faults=200, seed=2026)
+
+
+def test_campaign_injects_at_least_200_faults(campaign):
+    assert len(campaign.trials) >= 200
+
+
+def test_no_silent_wrong_answers(campaign):
+    assert not [t for t in campaign.trials if t.outcome == "silent-wrong"], \
+        campaign.summary()
+    assert not [t for t in campaign.trials if t.outcome == "wrong-answer"], \
+        campaign.summary()
+
+
+def test_no_unclassified_tracebacks(campaign):
+    assert not [
+        t for t in campaign.trials if t.outcome == "unclassified-trap"
+    ], campaign.summary()
+
+
+def test_engine_parity_under_chaos(campaign):
+    assert not [
+        t for t in campaign.trials if t.outcome == "parity-mismatch"
+    ], campaign.summary()
+
+
+def test_invariant_holds(campaign):
+    assert campaign.ok, campaign.summary()
+
+
+def test_campaign_covers_every_layer(campaign):
+    hit = {t.layer for t in campaign.trials}
+    assert hit == set(LAYERS)
+
+
+def test_campaign_observes_all_three_good_outcomes(campaign):
+    outcomes = {t.outcome for t in campaign.trials}
+    # the adversary actually bit: traps fired and degradations happened
+    assert "trapped" in outcomes
+    assert "degraded-correct" in outcomes
+    assert "correct" in outcomes
+
+
+def test_campaign_deterministic_in_seed():
+    a = run_campaign(n_faults=25, seed=7)
+    b = run_campaign(n_faults=25, seed=7)
+    assert a.trials == b.trials
+    c = run_campaign(n_faults=25, seed=8)
+    assert c.trials != a.trials
+
+
+def test_trial_ok_semantics():
+    good = ChaosTrial("bytecode", "saxpy_fp", "BitFlip()", "trapped")
+    assert good.ok
+    for outcome in FAILING:
+        assert not ChaosTrial("vm-mem", "saxpy_fp", "f", outcome).ok
+
+
+def test_report_summary_mentions_invariant():
+    rep = run_campaign(n_faults=5, seed=1)
+    assert "invariant HELD" in rep.summary()
+    assert "5 faults injected" in rep.summary()
+
+
+@pytest.mark.slow
+def test_harness_layer_quarantines():
+    """Worker crash + stall inside a real process pool: the sweep finishes
+    and only the faulty kernel's cells are quarantined."""
+    rep = run_campaign(n_faults=0, seed=3, include_harness=True,
+                       harness_timeout=5.0)
+    assert len(rep.trials) == 2
+    assert all(t.layer == "harness" for t in rep.trials)
+    assert rep.ok, rep.summary()
+    assert {t.outcome for t in rep.trials} == {"quarantined"}

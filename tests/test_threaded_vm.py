@@ -260,3 +260,100 @@ def test_translate_is_reusable(diff_runner):
     r2 = code.run(inst.scalar_args, diff_runner.make_buffers(inst))
     assert r1.cycles == r2.cycles
     assert r1.instructions == r2.instructions
+
+
+# -- injected-fault trap parity (repro.faults) --------------------------------
+
+
+@pytest.mark.parametrize("after", [1, 3, 9, 20])
+def test_trap_parity_injected_memory_fault(after, diff_runner):
+    """A seeded MemFault must fire on the identical access — same type,
+    same message — in both engines (both observe the same access stream)."""
+    from repro import faults
+
+    inst = get_kernel("saxpy_fp").instantiate(32)
+    target = get_target("sse")
+    ck = diff_runner.compiled(inst, "split_vec_gcc4cli", target)
+    plan = faults.FaultPlan([faults.MemFault(after=after)])
+
+    with faults.injected(plan):
+        ref_trap = _trap_of(
+            lambda: VM(target).run(
+                ck.mfunc, inst.scalar_args, diff_runner.make_buffers(inst)
+            )
+        )
+    with faults.injected(plan):
+        thr_trap = _trap_of(
+            lambda: ck.threaded().run(
+                inst.scalar_args, diff_runner.make_buffers(inst)
+            )
+        )
+    assert ref_trap == thr_trap
+    assert ref_trap[1] is not None
+    assert f"access #{after}" in ref_trap[1]
+
+
+def test_injected_memory_fault_is_marked(diff_runner):
+    """Injected traps carry the FaultInjected mixin so chaos campaigns can
+    tell them from genuine faults."""
+    from repro import faults
+    from repro.errors import FaultInjected, classify
+
+    inst = get_kernel("dscal_fp").instantiate(32)
+    target = get_target("sse")
+    ck = diff_runner.compiled(inst, "split_vec_gcc4cli", target)
+    with faults.injected(faults.FaultPlan([faults.MemFault(after=2)])):
+        with pytest.raises(VMError) as exc_info:
+            ck.threaded().run(
+                inst.scalar_args, diff_runner.make_buffers(inst)
+            )
+    assert isinstance(exc_info.value, FaultInjected)
+    assert classify(exc_info.value) == "VMError[injected]"
+
+
+def test_trap_parity_injected_fault_with_misalignment(diff_runner):
+    """MemFault + misaligned buffers: whichever trap fires first (the
+    injected one fires before the alignment check on the same access)
+    must be the same one in both engines."""
+    from repro import faults
+
+    misaligned = FlowRunner(base_misalign=4, check=False)
+    inst = get_kernel("saxpy_fp").instantiate(32)
+    target = get_target("sse")
+    ck = misaligned.compiled(inst, "native_vec", target)
+    for after in (1, 2, 8):
+        plan = faults.FaultPlan([faults.MemFault(after=after)])
+        with faults.injected(plan):
+            ref_trap = _trap_of(
+                lambda: VM(target).run(
+                    ck.mfunc, inst.scalar_args, misaligned.make_buffers(inst)
+                )
+            )
+        with faults.injected(plan):
+            thr_trap = _trap_of(
+                lambda: ck.threaded().run(
+                    inst.scalar_args, misaligned.make_buffers(inst)
+                )
+            )
+        assert ref_trap[0] is not None, f"after={after}"
+        assert issubclass(ref_trap[0], VMError), f"after={after}"
+        assert ref_trap == thr_trap, f"after={after}"
+
+
+def test_mem_hook_dormant_without_plan(diff_runner):
+    """No plan installed -> injection points are no-ops and execution is
+    unchanged (same cycles as an untouched runner)."""
+    from repro import faults
+
+    assert faults.active_plan() is None
+    assert faults.mem_hook is None
+    inst = get_kernel("saxpy_fp").instantiate(32)
+    target = get_target("sse")
+    ck = diff_runner.compiled(inst, "split_vec_gcc4cli", target)
+    a = ck.threaded().run(inst.scalar_args, diff_runner.make_buffers(inst))
+    with faults.injected(faults.FaultPlan([faults.MemFault(after=10**9)])):
+        b = ck.threaded().run(
+            inst.scalar_args, diff_runner.make_buffers(inst)
+        )
+    assert a.cycles == b.cycles
+    assert a.value == b.value
