@@ -15,6 +15,8 @@ Commands mirror the toolchain's stages:
   reporting the classified rejection (kind + stream offset) on failure.
 * ``chaos``    — run a seeded fault-injection campaign across every
   layer and assert the fail-soft invariant (see docs/resilience.md).
+* ``serve``    — run the resilient JIT compilation service against a
+  seeded synthetic request stream (see docs/service.md).
 """
 
 from __future__ import annotations
@@ -25,12 +27,43 @@ import sys
 __all__ = ["main"]
 
 
+def _read_text(path: str) -> str:
+    """Read a text input file, with classified CLI-grade failure: missing
+    or unreadable inputs are reported on stderr (no traceback) and the
+    command exits 2, mirroring argparse's usage-error convention."""
+    with open(path, "r") as f:
+        return f.read()
+
+
+def _read_bytes(path: str) -> bytes:
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def _input_error(path: str, exc: OSError) -> int:
+    print(f"repro: cannot read {path!r}: {exc.strerror or exc}",
+          file=sys.stderr)
+    return 2
+
+
+def _atomic_out(path: str, data: bytes) -> None:
+    """Write a CLI artifact crash-safely (tempfile + fsync + rename): an
+    interrupted ``repro compile``/``report --out`` must never leave a
+    half-written artifact under the final name."""
+    from .service.cache import atomic_write
+
+    atomic_write(path, data)
+
+
 def _cmd_compile(args) -> int:
     from .bytecode import encode_module
     from .frontend import compile_source
     from .vectorizer import split_config, vectorize_module
 
-    source = open(args.source).read()
+    try:
+        source = _read_text(args.source)
+    except OSError as exc:
+        return _input_error(args.source, exc)
     module = compile_source(source)
     if args.scalar_only:
         out_module = module
@@ -46,8 +79,7 @@ def _cmd_compile(args) -> int:
             for loop, verdict in report.items():
                 print(f"{fn.name}: {loop}: {verdict}")
     blob = encode_module(out_module)
-    with open(args.output, "wb") as f:
-        f.write(blob)
+    _atomic_out(args.output, blob)
     print(f"wrote {args.output}: {len(blob)} bytes, "
           f"{len(out_module.functions)} function(s)")
     return 0
@@ -57,7 +89,11 @@ def _cmd_disasm(args) -> int:
     from .bytecode import decode_module
     from .ir import print_function
 
-    module = decode_module(open(args.bytecode, "rb").read())
+    try:
+        data = _read_bytes(args.bytecode)
+    except OSError as exc:
+        return _input_error(args.bytecode, exc)
+    module = decode_module(data)
     for fn in module:
         if args.function and fn.name != args.function:
             continue
@@ -71,7 +107,11 @@ def _cmd_jit(args) -> int:
     from .jit import MonoJIT, OptimizingJIT
     from .targets import get_target
 
-    module = decode_module(open(args.bytecode, "rb").read())
+    try:
+        data = _read_bytes(args.bytecode)
+    except OSError as exc:
+        return _input_error(args.bytecode, exc)
+    module = decode_module(data)
     target = get_target(args.target)
     jit = MonoJIT() if args.compiler == "mono" else OptimizingJIT()
     for fn in module:
@@ -163,8 +203,7 @@ def _cmd_report(args) -> int:
         # byte-identical to --jobs 1.
         print("\n" + "\n\n".join(timing_lines), file=sys.stderr)
     if args.out:
-        with open(args.out, "w") as f:
-            f.write(text + "\n")
+        _atomic_out(args.out, (text + "\n").encode())
         print(f"\nreport written to {args.out}")
     return 0
 
@@ -173,7 +212,10 @@ def _cmd_verify(args) -> int:
     from .bytecode import verify_module_bytes
     from .bytecode.writer import FormatError
 
-    data = open(args.bytecode, "rb").read()
+    try:
+        data = _read_bytes(args.bytecode)
+    except OSError as exc:
+        return _input_error(args.bytecode, exc)
     try:
         module = verify_module_bytes(data)
     except FormatError as exc:
@@ -190,21 +232,123 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from .harness.chaos import run_campaign
+    import json
 
-    report = run_campaign(
-        n_faults=args.faults,
-        seed=args.seed,
-        size=args.size,
-        include_harness=args.harness,
-    )
+    from .harness.chaos import run_campaign, run_service_campaign
+
+    if args.profile == "service":
+        report = run_service_campaign(
+            n_faults=args.faults, seed=args.seed, size=args.size,
+        )
+    else:
+        report = run_campaign(
+            n_faults=args.faults,
+            seed=args.seed,
+            size=args.size,
+            include_harness=args.harness,
+        )
     print(report.summary())
+    if args.stats_out:
+        payload = {
+            "profile": args.profile,
+            "seed": args.seed,
+            "faults": len(report.trials),
+            "ok": report.ok,
+            "outcomes": report.counts(),
+            "service": report.service_stats,
+        }
+        _atomic_out(
+            args.stats_out,
+            (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(),
+        )
+        print(f"stats written to {args.stats_out}")
     if not report.ok:
         for t in report.failures:
             print(f"  FAIL {t.layer}/{t.kernel}: {t.fault} -> "
                   f"{t.outcome}: {t.detail}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Drive the resilient JIT service with a seeded synthetic stream."""
+    import json
+    import random
+    import shutil
+    import tempfile
+
+    from .harness.flows import FLOWS
+    from .kernels import all_kernels
+    from .service import KernelService, ServiceRequest
+
+    rng = random.Random(args.seed)
+    kernels = [k.name for k in all_kernels("kernel")][:6]
+    flows = sorted(FLOWS)
+    targets = ["sse", "altivec", "neon", "scalar"]
+    tmp_cache = None
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        tmp_cache = tempfile.mkdtemp(prefix="repro-serve-cache-")
+        cache_dir = tmp_cache
+    svc = KernelService(
+        cache_dir=cache_dir,
+        queue_limit=args.queue_limit,
+        workers=args.jobs,
+        rng_seed=args.seed,
+    )
+    try:
+        reqs = [
+            ServiceRequest(
+                kernel=rng.choice(kernels),
+                flow=rng.choice(flows),
+                target=rng.choice(targets),
+                size=args.size,
+            )
+            for _ in range(args.requests)
+        ]
+        responses = svc.serve(reqs)
+        by_status: dict[str, int] = {}
+        warm = 0
+        for resp in responses:
+            by_status[resp.status] = by_status.get(resp.status, 0) + 1
+            warm += bool(resp.from_cache)
+        statuses = ", ".join(
+            f"{k}={v}" for k, v in sorted(by_status.items())
+        )
+        health = svc.health()
+        stats = svc.stats()
+        print(f"served {len(responses)} request(s): {statuses}")
+        print(f"cache: {warm} warm hit(s), "
+              f"{stats['cache']['entries']} entr(ies), "
+              f"hit_ratio={stats['cache']['hit_ratio']:.2f}")
+        print(f"health: {health['status']} "
+              f"(queue {health['queue_depth']}/{health['queue_limit']}, "
+              f"breakers: "
+              + ", ".join(f"{t}={s}"
+                          for t, s in sorted(health['breakers'].items()))
+              + ")")
+        if args.stats_out:
+            payload = {
+                "requests": len(responses),
+                "statuses": by_status,
+                "health": health,
+                "stats": stats,
+            }
+            _atomic_out(
+                args.stats_out,
+                (json.dumps(payload, indent=2, sort_keys=True)
+                 + "\n").encode(),
+            )
+            print(f"stats written to {args.stats_out}")
+        degraded = sum(
+            v for k, v in by_status.items()
+            if k in ("shed", "rejected")
+        )
+        return 1 if degraded == len(responses) and responses else 0
+    finally:
+        svc.close()
+        if tmp_cache is not None:
+            shutil.rmtree(tmp_cache, ignore_errors=True)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -283,7 +427,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--harness", action="store_true",
                    help="also inject worker crash/stall into a real "
                    "process-pool sweep (slower)")
+    p.add_argument("--profile", default="layers",
+                   choices=["layers", "service"],
+                   help="'layers' injects into the pipeline stages; "
+                   "'service' soaks a live KernelService (cache "
+                   "corruption, torn writes, breaker trips, overload)")
+    p.add_argument("--stats-out",
+                   help="write the campaign census (and final service "
+                   "stats, for --profile service) as JSON")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resilient JIT service on a synthetic request stream",
+    )
+    p.add_argument("--requests", type=int, default=32,
+                   help="number of synthetic requests to serve")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--size", type=int, default=64,
+                   help="kernel problem size")
+    p.add_argument("--cache-dir",
+                   help="persistent kernel-cache directory (default: "
+                   "in-process temporary cache)")
+    p.add_argument("-j", "--jobs", type=int, default=4,
+                   help="service worker threads")
+    p.add_argument("--queue-limit", type=int, default=32,
+                   help="admission-queue bound (requests beyond it shed)")
+    p.add_argument("--stats-out",
+                   help="write health + stats snapshot as JSON")
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -27,6 +27,10 @@ class                      layer / meaning
 ``VMError``                VM: alignment trap, unbound args, runaway code
 ``CheckError``             harness: results disagree with the numpy oracle
 ``CellError``              harness: a sweep cell was quarantined
+``OverloadError``          service: request shed at the admission queue
+``DeadlineError``          service: per-request deadline expired
+``CircuitOpenError``       service: target short-circuited by its breaker
+``CacheError``             service: kernel-cache entry unusable (quarantined)
 ``FaultInjected``          faults: marker mixin for injected failures
 ========================== ==================================================
 
@@ -62,6 +66,10 @@ __all__ = [
     "VMError",
     "CheckError",
     "CellError",
+    "OverloadError",
+    "DeadlineError",
+    "CircuitOpenError",
+    "CacheError",
 ]
 
 
@@ -98,6 +106,10 @@ _HOMES = {
     "VMError": "repro.machine.vm",
     "CheckError": "repro.harness.flows",
     "CellError": "repro.harness.parallel",
+    "OverloadError": "repro.service.admission",
+    "DeadlineError": "repro.service.admission",
+    "CircuitOpenError": "repro.service.breaker",
+    "CacheError": "repro.service.cache",
 }
 
 

@@ -16,7 +16,11 @@ toolchain:
   engines — and base misalignment, exercising trap classification;
 * **harness** (:mod:`repro.harness.parallel`): simulated worker crashes
   (``os._exit``) and deadline overruns, exercising pool recovery,
-  retry-with-backoff, and cell quarantine.
+  retry-with-backoff, and cell quarantine;
+* **service cache** (:mod:`repro.service.cache`): torn writes — the
+  process "dies" between the partial temp-file write and the atomic
+  rename — exercising the crash-safe cache discipline (the destination
+  entry must never be observable half-written).
 
 A :class:`FaultPlan` is plain picklable data, so it ships to sweep worker
 processes.  Faults are *installed* for a dynamic extent::
@@ -52,6 +56,7 @@ __all__ = [
     "MisalignFault",
     "WorkerCrash",
     "WorkerStall",
+    "CacheTornWrite",
     "injected",
     "install",
     "uninstall",
@@ -60,6 +65,7 @@ __all__ = [
     "materialize_fails",
     "corrupt",
     "worker_fault",
+    "cache_torn_write",
 ]
 
 
@@ -103,9 +109,17 @@ class MemFault:
     """Raise a classified VM memory fault on the ``after``-th memory
     access (scalar or vector, load or store; 1-based).  Both VM engines
     observe the identical access stream, so the trap — type and message —
-    is engine-independent by construction."""
+    is engine-independent by construction.
+
+    ``repeat=False`` (default) is a transient glitch: it fires once per
+    install, so a retry of the run survives.  ``repeat=True`` is a
+    persistently broken memory system: the fault fires on *every*
+    ``after``-th access, defeating retries — this is what drives a
+    service target's circuit breaker open and exercises the full
+    degradation cascade."""
 
     after: int = 1
+    repeat: bool = False
 
 
 @dataclass(frozen=True)
@@ -134,6 +148,17 @@ class WorkerStall:
     kernel: str = "*"
     flow: str = "*"
     seconds: float = 3600.0
+
+
+@dataclass(frozen=True)
+class CacheTornWrite:
+    """Simulate a crash in the middle of a kernel-cache entry write: a
+    partial temp file is produced, the atomic rename never happens, and a
+    classified injection-marked :class:`~repro.service.cache.CacheError`
+    is raised.  ``count`` bounds how many writes fail (None = all writes
+    under this plan)."""
+
+    count: int | None = 1
 
 
 def _match(pattern: str, value: str) -> bool:
@@ -216,13 +241,17 @@ class FaultPlan:
         if not mem:
             return None
         after = max(1, int(mem[0].after))
+        repeat = bool(mem[0].repeat)
         state = [0]
 
         def hook(op: str, array: str) -> None:
             state[0] += 1
-            if state[0] == after:
+            fires = (
+                state[0] % after == 0 if repeat else state[0] == after
+            )
+            if fires:
                 raise injected_vm_fault_cls()(
-                    f"injected memory fault at access #{after} "
+                    f"injected memory fault at access #{state[0]} "
                     f"(op {op}, array {array})"
                 )
 
@@ -231,6 +260,25 @@ class FaultPlan:
     def misalign(self) -> int | None:
         mis = self._of(MisalignFault)
         return mis[0].misalign if mis else None
+
+    # -- service cache layer ------------------------------------------------
+
+    def make_torn_write_hook(self):
+        """A fresh countdown closure for the plan's first
+        :class:`CacheTornWrite` (re-armed per install)."""
+        torn = self._of(CacheTornWrite)
+        if not torn:
+            return None
+        fault = torn[0]
+        state = [0]
+
+        def hook():
+            if fault.count is not None and state[0] >= fault.count:
+                return None
+            state[0] += 1
+            return fault
+
+        return hook
 
     # -- harness layer ------------------------------------------------------
 
@@ -254,32 +302,37 @@ _ACTIVE: FaultPlan | None = None
 #: kept as a plain module global so the check is one attribute load.
 mem_hook = None
 
+#: torn-write hook consulted by the service cache's atomic_write.
+torn_write_hook = None
+
 
 def install(plan: FaultPlan) -> FaultPlan:
-    """Install ``plan``; arms a fresh memory-fault countdown."""
-    global _ACTIVE, mem_hook
+    """Install ``plan``; arms fresh memory-fault/torn-write countdowns."""
+    global _ACTIVE, mem_hook, torn_write_hook
     _ACTIVE = plan
     mem_hook = plan.make_mem_hook()
+    torn_write_hook = plan.make_torn_write_hook()
     return plan
 
 
 def uninstall() -> None:
     """Remove any installed plan; every injection point goes dormant."""
-    global _ACTIVE, mem_hook
+    global _ACTIVE, mem_hook, torn_write_hook
     _ACTIVE = None
     mem_hook = None
+    torn_write_hook = None
 
 
 @contextmanager
 def injected(plan: FaultPlan):
     """Install ``plan`` for the duration of the ``with`` block."""
-    global _ACTIVE, mem_hook
-    prev_active, prev_hook = _ACTIVE, mem_hook
+    global _ACTIVE, mem_hook, torn_write_hook
+    prev = (_ACTIVE, mem_hook, torn_write_hook)
     install(plan)
     try:
         yield plan
     finally:
-        _ACTIVE, mem_hook = prev_active, prev_hook
+        _ACTIVE, mem_hook, torn_write_hook = prev
 
 
 def active_plan() -> FaultPlan | None:
@@ -311,3 +364,9 @@ def worker_fault(kernel: str, flow: str):
     """Harness injection point: the crash/stall fault matching this sweep
     cell under the active plan, or None."""
     return None if _ACTIVE is None else _ACTIVE.worker_fault(kernel, flow)
+
+
+def cache_torn_write():
+    """Service-cache injection point: the :class:`CacheTornWrite` that
+    should fire on this write under the active plan, or None."""
+    return None if torn_write_hook is None else torn_write_hook()

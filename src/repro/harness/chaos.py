@@ -37,6 +37,17 @@ campaign fail.
 Campaigns are deterministic in ``seed`` and run single-process (the
 ``harness`` layer, which needs real worker processes, is opt-in via
 ``include_harness``).
+
+**Service soak profile** (:func:`run_service_campaign`, CLI ``repro chaos
+--profile service``): the same invariant asserted against a *live*
+:class:`~repro.service.KernelService` — one long-running service absorbs
+hundreds of seeded faults (on-disk cache corruption, torn cache writes,
+JIT faults, transient and persistent VM faults, overload bursts, expired
+deadlines) while every response stays well-formed: correct answers are
+byte-identical to a cold no-cache run, degraded/stale responses carry
+their :class:`~repro.jit.materialize.DegradationEvent` chain, rejections
+carry a closed-taxonomy tag, and corrupt/torn cache entries are
+quarantined and recompiled, never served.
 """
 
 from __future__ import annotations
@@ -52,7 +63,14 @@ from ..kernels import get_kernel
 from ..vectorizer import split_config, vectorize_module
 from .flows import CheckError, FlowRunner
 
-__all__ = ["ChaosTrial", "ChaosReport", "run_campaign", "LAYERS"]
+__all__ = [
+    "ChaosTrial",
+    "ChaosReport",
+    "run_campaign",
+    "run_service_campaign",
+    "LAYERS",
+    "SERVICE_LAYERS",
+]
 
 #: injection layers with their campaign weights.
 LAYERS = ("bytecode", "jit-lowering", "jit-materialize", "vm-mem",
@@ -90,6 +108,8 @@ class ChaosReport:
 
     seed: int
     trials: list = field(default_factory=list)
+    #: final ``KernelService.stats()`` snapshot (service profile only).
+    service_stats: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -307,4 +327,404 @@ def run_campaign(
         report.trials.extend(
             _trials_harness(kernels, size, rng, harness_timeout)
         )
+    return report
+
+
+# -- the service soak profile -------------------------------------------------
+
+#: service-profile fault layers with their campaign weights.
+SERVICE_LAYERS = (
+    "svc-plain", "svc-cache-corrupt", "svc-torn-write", "svc-jit-lowering",
+    "svc-jit-materialize", "svc-vm-transient", "svc-vm-persistent",
+    "svc-overload", "svc-deadline",
+)
+_SERVICE_WEIGHTS = (20, 18, 8, 12, 8, 12, 12, 5, 5)
+
+
+class _ServiceSoak:
+    """State of one service soak campaign: a live service, a cold
+    no-cache reference runner, and per-trial validators."""
+
+    def __init__(self, seed: int, size: int, cache_dir: str) -> None:
+        from ..service import KernelService
+
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.size = size
+        self.cache_dir = cache_dir
+        # backoff_base=0 keeps the soak fast and deterministic (no real
+        # sleeps); tight breaker knobs make open/half-open/closed cycles
+        # happen organically within a 200-fault campaign.
+        self.svc = KernelService(
+            cache_dir=cache_dir, rng_seed=seed, retries=1,
+            backoff_base=0.0, breaker_threshold=2, breaker_cooldown=4,
+            queue_limit=16, workers=2,
+        )
+        self.ref_runner = FlowRunner()
+        self._refs: dict = {}
+        self._torn = 0
+
+    def close(self) -> None:
+        self.svc.close()
+
+    def _request(self, kernel: str, size: int | None = None, **over):
+        from ..service import ServiceRequest
+
+        return ServiceRequest(
+            kernel,
+            flow=over.get("flow", self.rng.choice(_FLOWS)),
+            target=over.get("target", self.rng.choice(_TARGETS)),
+            size=self.size if size is None else size,
+            deadline_s=over.get("deadline_s"),
+        )
+
+    def reference(self, kernel: str, flow: str, target: str, size: int):
+        """Cold no-cache (cycles, value) for one shape, computed outside
+        any fault extent."""
+        key = (kernel, flow, target, size)
+        if key not in self._refs:
+            inst = get_kernel(kernel).instantiate(size)
+            r = self.ref_runner.run(inst, flow, target)
+            self._refs[key] = (r.cycles, r.value)
+        return self._refs[key]
+
+    def judge(self, layer: str, fault: str, req, resp) -> ChaosTrial:
+        """Classify a ServiceResponse against the fail-soft invariant."""
+        kernel = req.kernel
+        if resp.error is not None and resp.error.startswith("unclassified"):
+            return ChaosTrial(layer, kernel, fault, "unclassified-trap",
+                              resp.error)
+        if resp.result is not None:
+            if not resp.result.checked and resp.status != "stale":
+                return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                                  "result served without checking")
+            if resp.status == "ok":
+                cycles, value = self.reference(
+                    kernel, resp.result.flow, resp.result.target, req.size
+                )
+                if resp.result.cycles != cycles or resp.result.value != value:
+                    return ChaosTrial(
+                        layer, kernel, fault, "wrong-answer",
+                        f"cycles {resp.result.cycles} vs cold {cycles}",
+                    )
+                return ChaosTrial(layer, kernel, fault, "correct",
+                                  "warm-cache" if resp.from_cache else "")
+            if resp.status == "stale":
+                if not resp.events:
+                    return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                                      "stale response without event chain")
+                return ChaosTrial(layer, kernel, fault, "served-stale",
+                                  "; ".join(e.cause for e in resp.events))
+            # degraded
+            if not resp.events:
+                return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                                  "degraded response without event chain")
+            return ChaosTrial(layer, kernel, fault, "degraded-correct",
+                              "; ".join(e.cause for e in resp.events))
+        if resp.status == "shed":
+            return ChaosTrial(layer, kernel, fault, "shed", resp.error or "")
+        if resp.status == "rejected":
+            if resp.error is None:
+                return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                                  "rejected without a classified tag")
+            return ChaosTrial(layer, kernel, fault, "trapped", resp.error)
+        return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                          f"unknown response status {resp.status!r}")
+
+    # -- trial kinds ----------------------------------------------------------
+
+    def plain(self, kernel: str) -> ChaosTrial:
+        req = self._request(kernel)
+        return self.judge("svc-plain", "none", req, self.svc.handle(req))
+
+    def cache_corrupt(self, kernel: str) -> ChaosTrial:
+        """Flip one byte of every on-disk entry, then serve: corrupted
+        entries must be quarantined and recompiled, never served."""
+        import os
+
+        names = [
+            n for n in os.listdir(self.cache_dir) if n.endswith(".vbk")
+        ]
+        for name in names:
+            path = os.path.join(self.cache_dir, name)
+            with open(path, "rb") as f:
+                data = bytearray(f.read())
+            if not data:
+                continue
+            off = self.rng.randrange(len(data))
+            data[off] ^= 1 << self.rng.randrange(8)
+            with open(path, "wb") as f:
+                f.write(bytes(data))
+        before = self.svc.cache.quarantined
+        req = self._request(kernel)
+        resp = self.svc.handle(req)
+        if names and resp.from_cache:
+            return ChaosTrial(
+                "svc-cache-corrupt", kernel, "bitflip-all-entries",
+                "silent-wrong", "a corrupted cache entry was served",
+            )
+        trial = self.judge("svc-cache-corrupt", "bitflip-all-entries",
+                           req, resp)
+        if not trial.ok:
+            return trial
+        healed = self.svc.cache.quarantined > before
+        # Self-healing: the same request is now re-servable (recompiled,
+        # overwritten) with identical results.
+        resp2 = self.svc.handle(req)
+        trial2 = self.judge("svc-cache-corrupt", "bitflip-all-entries",
+                            req, resp2)
+        if not trial2.ok:
+            return trial2
+        if (
+            resp.result is not None and resp2.result is not None
+            and resp2.result.value != resp.result.value
+        ):
+            return ChaosTrial(
+                "svc-cache-corrupt", kernel, "bitflip-all-entries",
+                "wrong-answer", "recompiled entry changed the answer",
+            )
+        return ChaosTrial(
+            "svc-cache-corrupt", kernel, "bitflip-all-entries",
+            "healed" if healed else trial.outcome,
+            f"quarantined {self.svc.cache.quarantined - before} entries",
+        )
+
+    def torn_write(self, kernel: str) -> ChaosTrial:
+        """Kill the (simulated) service mid-cache-write: no entry under
+        the final name, fresh services recompile."""
+        from ..service import KernelService
+
+        self._torn += 1
+        req = self._request(kernel, flow="split_vec_gcc4cli", target="sse")
+        # Drop any existing entry so the request compiles and *puts* — the
+        # put is where the torn write fires.  (The cache key is a function
+        # of the bytecode, so a warm entry would otherwise absorb it.)
+        self.svc.evict(kernel, req.flow, req.target, size=req.size)
+        fault = faults.CacheTornWrite()
+        before = self.svc.cache.put_failures
+        with faults.injected(faults.FaultPlan([fault])):
+            resp = self.svc.handle(req)
+        trial = self.judge("svc-torn-write", repr(fault), req, resp)
+        if not trial.ok:
+            return trial
+        if self.svc.cache.put_failures <= before:
+            return ChaosTrial("svc-torn-write", kernel, repr(fault),
+                              "silent-wrong", "torn write did not fire")
+        # Crash-safety: a fresh service over the same directory must not
+        # find (let alone serve) the half-written entry.
+        fresh = KernelService(cache_dir=self.cache_dir, rng_seed=self.seed)
+        try:
+            resp2 = fresh.handle(req)
+        finally:
+            fresh.close()
+        if resp2.from_cache:
+            return ChaosTrial(
+                "svc-torn-write", kernel, repr(fault), "silent-wrong",
+                "fresh service served a torn-write entry",
+            )
+        trial2 = self.judge("svc-torn-write", repr(fault), req, resp2)
+        if not trial2.ok:
+            return trial2
+        return ChaosTrial(
+            "svc-torn-write", kernel, repr(fault), "crash-safe",
+            "destination untouched; fresh service recompiled",
+        )
+
+    def jit(self, kernel: str, materialize: bool) -> ChaosTrial:
+        layer = "svc-jit-materialize" if materialize else "svc-jit-lowering"
+        fault = (
+            faults.MaterializeFault(target="*") if materialize
+            else faults.LoweringFault(idiom=self.rng.choice(_IDIOMS),
+                                      target="*")
+        )
+        req = self._request(kernel)
+        with faults.injected(faults.FaultPlan([fault])):
+            resp = self.svc.handle(req)
+        trial = self.judge(layer, repr(fault), req, resp)
+        if not trial.ok:
+            return trial
+        # Taint guard: the fault-degraded artifact must not have been
+        # persisted — a later clean request must not replay the fault.
+        resp2 = self.svc.handle(self._request(
+            kernel, flow=req.flow, target=req.target
+        ))
+        if resp2.events and any(
+            e.cause == "fault-injected" for e in resp2.events
+        ):
+            return ChaosTrial(
+                layer, kernel, repr(fault), "silent-wrong",
+                "fault-degraded artifact leaked into the persistent cache",
+            )
+        return trial
+
+    def vm(self, kernel: str, persistent: bool) -> ChaosTrial:
+        layer = "svc-vm-persistent" if persistent else "svc-vm-transient"
+        fault = (
+            faults.MemFault(after=self.rng.randrange(1, 8), repeat=True)
+            if persistent
+            else faults.MemFault(after=self.rng.randrange(1, 80))
+        )
+        req = self._request(kernel)
+        with faults.injected(faults.FaultPlan([fault])):
+            resp = self.svc.handle(req)
+        return self.judge(layer, repr(fault), req, resp)
+
+    def overload(self, kernel: str) -> ChaosTrial:
+        """Saturate admission, observe a classified shed, then recover."""
+        adm = self.svc.admission
+        slots = []
+        try:
+            while adm.depth < adm.limit:
+                slots.append(adm.admit())
+            req = self._request(kernel)
+            resp = self.svc.handle(req)
+        finally:
+            for s in slots:
+                s.__exit__(None, None, None)
+        if resp.status != "shed" or resp.error != "OverloadError":
+            return ChaosTrial(
+                "svc-overload", kernel, "admission-saturation",
+                "silent-wrong",
+                f"expected a classified shed, got {resp.status}/{resp.error}",
+            )
+        resp2 = self.svc.handle(req)
+        trial2 = self.judge("svc-overload", "admission-saturation",
+                            req, resp2)
+        if not trial2.ok:
+            return trial2
+        return ChaosTrial("svc-overload", kernel, "admission-saturation",
+                          "shed", "shed while saturated, served after")
+
+    def deadline(self, kernel: str) -> ChaosTrial:
+        req = self._request(kernel, deadline_s=0.0)
+        resp = self.svc.handle(req)
+        trial = self.judge("svc-deadline", "deadline_s=0", req, resp)
+        # An open breaker (left by an earlier persistent-fault trial) may
+        # short-circuit before the deadline is even consulted; both tags
+        # are classified and correct for their interleaving.
+        if trial.outcome == "trapped" and resp.error not in (
+            "DeadlineError", "CircuitOpenError"
+        ):
+            return ChaosTrial(
+                "svc-deadline", kernel, "deadline_s=0", "silent-wrong",
+                f"expected DeadlineError, got {resp.error}",
+            )
+        return trial
+
+    # -- scripted epilogue trials ---------------------------------------------
+
+    def breaker_cycle(self) -> ChaosTrial:
+        """Deterministic closed -> open -> half-open -> closed cycle."""
+        from ..service import KernelService
+
+        s2 = KernelService(
+            cache_dir=None, retries=0, backoff_base=0.0,
+            breaker_threshold=2, breaker_cooldown=3,
+        )
+        try:
+            req = self._request("saxpy_fp", flow="split_vec_gcc4cli",
+                                target="neon")
+            plan = faults.FaultPlan([faults.MemFault(after=1, repeat=True)])
+            states = []
+            with faults.injected(plan):
+                for _ in range(2):          # threshold failures -> open
+                    s2.handle(req)
+                states.append(s2._breakers["neon"].state)
+                for _ in range(3):          # cooldown short-circuits
+                    s2.handle(req)
+                states.append(s2._breakers["neon"].state)
+            probe = s2.handle(req)          # fault cleared: probe succeeds
+            states.append(s2._breakers["neon"].state)
+            ok = (
+                states == ["open", "half-open", "closed"]
+                and probe.result is not None
+            )
+            return ChaosTrial(
+                "svc-breaker", "saxpy_fp", "MemFault(repeat)",
+                "breaker-cycled" if ok else "silent-wrong",
+                f"states={states}",
+            )
+        finally:
+            s2.close()
+
+    def stale_serve(self) -> ChaosTrial:
+        """A known-good result survives a total runtime outage."""
+        from ..service import KernelService
+
+        s3 = KernelService(cache_dir=None, retries=0, backoff_base=0.0)
+        try:
+            req = self._request("dscal_fp", flow="split_vec_gcc4cli",
+                                target="sse")
+            good = s3.handle(req)
+            plan = faults.FaultPlan([faults.MemFault(after=1, repeat=True)])
+            with faults.injected(plan):
+                resp = s3.handle(req)
+            ok = (
+                good.status == "ok"
+                and resp.status == "stale"
+                and resp.result is not None
+                and resp.result.value == good.result.value
+                and resp.result.cycles == good.result.cycles
+                and any(e.cause == "stale-cache" for e in resp.events)
+            )
+            return ChaosTrial(
+                "svc-stale", "dscal_fp", "MemFault(repeat)",
+                "served-stale" if ok else "silent-wrong",
+                f"status={resp.status}, events="
+                f"{[e.cause for e in resp.events]}",
+            )
+        finally:
+            s3.close()
+
+
+def run_service_campaign(
+    n_faults: int = 200,
+    seed: int = 0,
+    kernels=_DEFAULT_KERNELS,
+    size: int = 16,
+    cache_dir: str | None = None,
+) -> ChaosReport:
+    """Soak a live :class:`~repro.service.KernelService` with ``n_faults``
+    seeded faults; returns the outcome census with ``service_stats``
+    attached.  Deterministic in ``seed`` (service jitter is seeded and
+    backoff sleeps are disabled)."""
+    import shutil
+    import tempfile
+
+    rng = random.Random(seed)
+    kernels = tuple(kernels)
+    own_dir = cache_dir is None
+    root = cache_dir or tempfile.mkdtemp(prefix="repro-svc-chaos-")
+    soak = _ServiceSoak(seed, size, root)
+    report = ChaosReport(seed=seed)
+    try:
+        for _ in range(int(n_faults)):
+            layer = rng.choices(SERVICE_LAYERS, weights=_SERVICE_WEIGHTS)[0]
+            kernel = rng.choice(kernels)
+            if layer == "svc-plain":
+                t = soak.plain(kernel)
+            elif layer == "svc-cache-corrupt":
+                t = soak.cache_corrupt(kernel)
+            elif layer == "svc-torn-write":
+                t = soak.torn_write(kernel)
+            elif layer == "svc-jit-lowering":
+                t = soak.jit(kernel, materialize=False)
+            elif layer == "svc-jit-materialize":
+                t = soak.jit(kernel, materialize=True)
+            elif layer == "svc-vm-transient":
+                t = soak.vm(kernel, persistent=False)
+            elif layer == "svc-vm-persistent":
+                t = soak.vm(kernel, persistent=True)
+            elif layer == "svc-overload":
+                t = soak.overload(kernel)
+            else:
+                t = soak.deadline(kernel)
+            report.trials.append(t)
+        report.trials.append(soak.breaker_cycle())
+        report.trials.append(soak.stale_serve())
+        report.service_stats = soak.svc.stats()
+    finally:
+        soak.close()
+        if own_dir:
+            shutil.rmtree(root, ignore_errors=True)
     return report

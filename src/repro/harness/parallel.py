@@ -40,6 +40,7 @@ pool initializer, arming all injection points inside the worker.
 
 from __future__ import annotations
 
+import random
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -51,7 +52,26 @@ from ..errors import ReproError, classify
 from ..kernels import get_kernel
 from .flows import FlowResult, FlowRunner
 
-__all__ = ["Cell", "CellResult", "CellError", "run_cells"]
+__all__ = ["Cell", "CellResult", "CellError", "backoff_delay", "run_cells"]
+
+
+def backoff_delay(
+    attempt: int, base: float = 0.05, cap: float = 1.0, rng=None
+) -> float:
+    """Jittered exponential backoff delay for re-attempt ``attempt``.
+
+    ``base * 2**(attempt-1)`` capped at ``cap``, scaled by a uniform
+    jitter in ``[0.5, 1.0)`` so a thundering herd of retries decorrelates.
+    This is the one retry policy of the toolchain: :func:`run_cells` uses
+    it between cell re-attempts and
+    :class:`repro.service.KernelService` uses it between request retries
+    (pass a seeded ``rng`` for deterministic campaigns).
+    """
+    if attempt <= 0 or base <= 0:
+        return 0.0
+    span = min(float(cap), float(base) * (2.0 ** (attempt - 1)))
+    r = (rng or random).random()
+    return span * (0.5 + 0.5 * r)
 
 
 class CellError(ReproError):
@@ -228,6 +248,7 @@ def run_cells(
     retries: int = 1,
     backoff: float = 0.05,
     fault_plan=None,
+    deadline=None,
 ) -> list[CellResult]:
     """Run every cell; returns results in input order.
 
@@ -239,24 +260,58 @@ def run_cells(
     are deliberately not shipped across the process boundary).
 
     ``timeout`` is a per-cell deadline in seconds (None = no deadline);
-    ``retries`` bounds re-attempts after a crash or overrun (with linear
-    ``backoff`` sleep between attempts); ``fault_plan`` arms the
-    injection points inside every worker.  A cell that exhausts its
-    attempts is *quarantined*: its :class:`CellResult` carries
-    ``result=None`` and a classified ``error_kind`` while the rest of
-    the sweep completes normally.
+    ``retries`` bounds re-attempts after a crash or overrun (with
+    jittered exponential :func:`backoff_delay` sleeps, ``backoff`` being
+    the base delay); ``fault_plan`` arms the injection points inside
+    every worker.  A cell that exhausts its attempts is *quarantined*:
+    its :class:`CellResult` carries ``result=None`` and a classified
+    ``error_kind`` while the rest of the sweep completes normally.
+
+    ``deadline`` bounds the *whole sweep*: either a float budget in
+    seconds or a :class:`repro.service.Deadline` (anything exposing
+    ``remaining()``), as propagated from a service request.  The
+    remaining budget tightens every cell's effective timeout, and cells
+    that cannot start before expiry are quarantined with
+    ``CellError[deadline]`` (deadline expiry is terminal — no retries).
     """
     cells = list(cells)
+
+    if deadline is None:
+        remaining = None
+    elif hasattr(deadline, "remaining"):
+        remaining = deadline.remaining
+    else:
+        _expires = time.monotonic() + float(deadline)
+
+        def remaining() -> float:
+            return max(0.0, _expires - time.monotonic())
+
+    def _deadline_result(cell: Cell, attempts: int = 1) -> CellResult:
+        err = CellError(
+            "deadline",
+            f"{cell.kernel}/{cell.flow} on {cell.target}: sweep deadline "
+            f"expired before the cell could run",
+        )
+        return CellResult(
+            cell, None, 0.0,
+            error=str(err), error_kind="CellError[deadline]",
+            attempts=attempts,
+        )
+
     if jobs <= 1:
         if runner is None:
             runner = FlowRunner(**(runner_kwargs or {}))
         instances: dict = {}
+
+        def serial(cell: Cell) -> CellResult:
+            if remaining is not None and remaining() <= 0.0:
+                return _deadline_result(cell)
+            return _run_cell_serial(cell, runner, instances)
+
         if fault_plan is not None:
             with faults.injected(fault_plan):
-                return [
-                    _run_cell_serial(c, runner, instances) for c in cells
-                ]
-        return [_run_cell_serial(c, runner, instances) for c in cells]
+                return [serial(c) for c in cells]
+        return [serial(c) for c in cells]
 
     kwargs = dict(runner_kwargs or {})
     if runner is not None and not kwargs:
@@ -271,10 +326,14 @@ def run_cells(
 
     def submit(i, cell, attempts):
         if attempts > 0 and backoff > 0:
-            time.sleep(backoff * attempts)
+            time.sleep(backoff_delay(attempts, base=backoff))
         fut = mgr.get().submit(_run_cell, cell)
-        deadline = (time.monotonic() + timeout) if timeout else None
-        inflight[fut] = (i, cell, attempts + 1, deadline)
+        limit = timeout
+        if remaining is not None:
+            rem = remaining()
+            limit = rem if limit is None else min(limit, rem)
+        dl = None if limit is None else time.monotonic() + max(0.0, limit)
+        inflight[fut] = (i, cell, attempts + 1, dl)
 
     def charge(i, cell, attempts, kind, message):
         """Charge a failed attempt; requeue or quarantine."""
@@ -316,6 +375,11 @@ def run_cells(
             queue = isolate if isolate else pending
             while queue and len(inflight) < cap:
                 i, cell, attempts = queue.popleft()
+                if remaining is not None and remaining() <= 0.0:
+                    # Sweep deadline expired: terminal, no retries.
+                    results[i] = _deadline_result(cell, max(1, attempts))
+                    queue = isolate if isolate else pending
+                    continue
                 try:
                     submit(i, cell, attempts)
                 except BrokenProcessPool:

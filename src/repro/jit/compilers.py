@@ -104,18 +104,27 @@ class _BaseCompiler:
             force_scalar=force_scalar,
         )
 
-    def compile(self, fn: Function, target: Target) -> CompiledKernel:
+    def compile(
+        self, fn: Function, target: Target, force_scalar: bool = False
+    ) -> CompiledKernel:
         """Compile IR (scalar or vectorized bytecode) to machine code.
 
         Fail-soft: a whole-function :class:`MaterializeError` on the first
         (vector) attempt triggers one retry with every loop group forced
         scalar — a slower but correct compilation — and the kernel is
         marked ``degraded`` with the cause recorded in ``events``.
+
+        ``force_scalar=True`` skips the vector attempt entirely and
+        materializes every loop group scalar from the start — the
+        degradation cascade of :class:`repro.service.KernelService` uses
+        this as its always-lowerable fallback compilation.
         """
         start = time.perf_counter()
         try:
             work = clone_function(fn)
-            work, mstats = materialize(work, target, self._options())
+            work, mstats = materialize(
+                work, target, self._options(force_scalar=force_scalar)
+            )
         except MaterializeError as exc:
             work = clone_function(fn)
             work, mstats = materialize(

@@ -1,0 +1,36 @@
+"""Resilient JIT compilation service (see docs/service.md).
+
+``KernelService`` turns the paper's cheap online stage into a
+long-running, multi-threaded compile/run service with a crash-safe
+persistent kernel cache, bounded admission + load shedding, per-target
+circuit breakers, per-request deadlines, and a strictly ordered
+degradation cascade — never a silent wrong answer, never a traceback.
+"""
+
+from .admission import AdmissionQueue, Deadline, DeadlineError, OverloadError
+from .breaker import CircuitBreaker, CircuitOpenError
+from .cache import (
+    CacheError,
+    CacheKey,
+    KernelCache,
+    TOOLCHAIN_VERSION,
+    atomic_write,
+)
+from .core import KernelService, ServiceRequest, ServiceResponse
+
+__all__ = [
+    "KernelService",
+    "ServiceRequest",
+    "ServiceResponse",
+    "KernelCache",
+    "CacheKey",
+    "CacheError",
+    "atomic_write",
+    "TOOLCHAIN_VERSION",
+    "AdmissionQueue",
+    "Deadline",
+    "DeadlineError",
+    "OverloadError",
+    "CircuitBreaker",
+    "CircuitOpenError",
+]

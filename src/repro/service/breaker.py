@@ -1,0 +1,135 @@
+"""Per-target circuit breakers for the JIT compilation service.
+
+A target whose materializer keeps faulting (a broken toolchain build, a
+poisoned idiom table, a fault-injection campaign...) must not be allowed
+to burn a compile attempt — and a retry budget — on every request.  The
+classic remedy is a circuit breaker (Nygard, *Release It!*), here with a
+**request-count** clock instead of wall time so seeded chaos campaigns
+are deterministic:
+
+::
+
+    CLOSED --(failure_threshold consecutive failures)--> OPEN
+    OPEN   --(cooldown short-circuited requests)-------> HALF-OPEN
+    HALF-OPEN --probe succeeds--> CLOSED
+    HALF-OPEN --probe fails----> OPEN (cooldown restarts)
+
+* **closed** — requests flow normally; consecutive failures are counted,
+  any success resets the count.
+* **open** — :meth:`CircuitBreaker.allow` returns False: the service
+  skips the primary attempt entirely and routes the request straight
+  into the degradation cascade.  After ``cooldown`` such short-circuits
+  the breaker arms a probe.
+* **half-open** — exactly one request is allowed through as a probe; its
+  outcome decides the next state.
+
+The breaker never *raises* by itself — :class:`CircuitOpenError` exists
+so the service can classify a response that was short-circuited and then
+exhausted the whole cascade.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import ReproError
+
+__all__ = ["CircuitBreaker", "CircuitOpenError", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitOpenError(ReproError):
+    """A request was short-circuited because its target's breaker is open
+    (and the degradation cascade could not produce a response either)."""
+
+    def __init__(self, target: str, message: str = "") -> None:
+        super().__init__(
+            f"circuit open for target {target!r}"
+            + (f": {message}" if message else "")
+        )
+        self.target = target
+
+
+class CircuitBreaker:
+    """One breaker (one per target inside the service).
+
+    Thread-safe; all transitions happen under a lock.  ``allow()`` both
+    *asks* and *advances the clock*: every denied request counts toward
+    the open-state cooldown.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown: int = 8) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 1:
+            raise ValueError("cooldown must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = int(cooldown)
+        self._lock = threading.Lock()
+        self.state = CLOSED
+        self._consecutive_failures = 0
+        self._denied_since_open = 0
+        self._probe_inflight = False
+        # lifetime counters for service.stats()
+        self.opens = 0
+        self.short_circuits = 0
+        self.probes = 0
+
+    def allow(self) -> bool:
+        """May a primary attempt proceed?  False = short-circuit into the
+        degradation cascade."""
+        with self._lock:
+            if self.state == CLOSED:
+                return True
+            if self.state == OPEN:
+                self._denied_since_open += 1
+                self.short_circuits += 1
+                if self._denied_since_open >= self.cooldown:
+                    self.state = HALF_OPEN
+                    self._probe_inflight = False
+                return False
+            # HALF_OPEN: admit exactly one probe at a time.
+            if self._probe_inflight:
+                self.short_circuits += 1
+                return False
+            self._probe_inflight = True
+            self.probes += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self.state == HALF_OPEN:
+                self.state = CLOSED
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self.state == HALF_OPEN:
+                # Failed probe: back to open, restart the cooldown.
+                self.state = OPEN
+                self.opens += 1
+                self._denied_since_open = 0
+                self._probe_inflight = False
+                return
+            self._consecutive_failures += 1
+            if (
+                self.state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self.state = OPEN
+                self.opens += 1
+                self._denied_since_open = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self.opens,
+                "short_circuits": self.short_circuits,
+                "probes": self.probes,
+            }

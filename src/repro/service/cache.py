@@ -1,0 +1,414 @@
+"""Crash-safe persistent kernel cache for the JIT compilation service.
+
+The paper's online stage is cheap, but "cheap" times millions of requests
+is still a bill worth not paying twice: a kernel lowered once for
+(bytecode, target, compiler, toolchain) can be served from disk on every
+later request.  Revec (Mendis et al.) documents why such caches rot —
+toolchains move, artifacts get torn by crashes, disks flip bits — so this
+cache is built *assuming* its own entries will go bad:
+
+* **Atomic writes.**  Every entry lands via :func:`atomic_write`
+  (``tempfile`` in the destination directory + ``fsync`` +
+  ``os.replace``), so a crash mid-write leaves at worst an orphaned
+  ``*.tmp`` file, never a half-written entry under the final name.
+* **Checksummed entries.**  Entries reuse the VBC2 container discipline:
+  a ``VBK1`` magic plus a CRC-32 of the payload.  A fresh service can
+  only ever serve an entry whose checksum verifies.
+* **Corruption self-healing.**  A bad entry (torn, truncated, bit-flipped,
+  wrong magic, unpicklable) is *quarantined* — renamed aside, never
+  deleted evidence, never served — and the lookup reports a miss so the
+  caller recompiles and overwrites.
+* **LRU byte-budget.**  The cache holds at most ``byte_budget`` bytes of
+  entries; inserting past the budget evicts least-recently-used entries.
+
+Keys are :class:`CacheKey` tuples — (bytecode CRC-32, target name,
+compiler name, toolchain version) — so a toolchain upgrade or a different
+online compiler can never alias a stale artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import struct
+import tempfile
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .. import faults
+from ..errors import ReproError
+
+__all__ = [
+    "CacheError",
+    "CacheKey",
+    "KernelCache",
+    "atomic_write",
+    "canonical_crc",
+    "ENTRY_MAGIC",
+    "TOOLCHAIN_VERSION",
+]
+
+#: gensym-suffixed identifiers (value/loop names like ``loop_i_21``) —
+#: their numbering depends on process-global counter state, not on the
+#: program, so they must not contribute to cache identity.
+_GENSYM = re.compile(rb"([A-Za-z][A-Za-z0-9]*_)(\d+)")
+
+
+def canonical_crc(data: bytes) -> int:
+    """CRC-32 of ``data`` under alpha-renaming of gensym identifiers.
+
+    The service keys its cache on the *canonical printed form* of the
+    decoded bytecode (positional SSA ids, deterministic across
+    processes), because the raw encoded stream embeds gensym value/loop
+    names whose counters advance globally — two vectorizer runs over the
+    same kernel yield alpha-equivalent but byte-different streams.  Any
+    residual gensym-suffixed identifier is renumbered by first occurrence
+    before hashing, so alpha-equivalent programs share a key and anything
+    else gets its own.
+    """
+    mapping: dict[bytes, bytes] = {}
+
+    def rename(m: re.Match) -> bytes:
+        token = m.group(0)
+        out = mapping.get(token)
+        if out is None:
+            out = mapping[token] = m.group(1) + str(len(mapping)).encode()
+        return out
+
+    return zlib.crc32(_GENSYM.sub(rename, data)) & 0xFFFFFFFF
+
+#: entry container magic (VBK = Vapor Bytecode Kernel, format 1).
+ENTRY_MAGIC = b"VBK1"
+_HEADER_BYTES = len(ENTRY_MAGIC) + 4  # magic + u32le crc32(payload)
+
+#: cache-key component covering everything that can invalidate an artifact
+#: besides the bytecode itself: package version and entry format revision.
+#: Bumping either orphans old entries instead of mis-serving them.
+TOOLCHAIN_VERSION = "repro-1.0.0+vbk1"
+
+
+class CacheError(ReproError):
+    """A kernel-cache entry could not be used.
+
+    Attributes:
+        kind: machine-readable tag — ``"bad-magic"``, ``"bad-checksum"``,
+            ``"truncated"``, ``"bad-payload"``, ``"io"``, or
+            ``"torn-write"`` (fault-injected crash mid-write).
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+
+
+class _InjectedTornWrite(CacheError, faults.FaultInjected):
+    """A :class:`~repro.faults.CacheTornWrite` firing: the process "died"
+    between writing the temp file and the atomic rename."""
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one lowered artifact.
+
+    ``bytecode_crc`` is the CRC-32 of the *function bytecode* that was
+    compiled (offline-stage output), so any change to the portable input
+    yields a different key; ``target``/``compiler`` pin the online stage;
+    ``toolchain`` pins the code that did the lowering.
+    """
+
+    bytecode_crc: int
+    target: str
+    compiler: str
+    toolchain: str = TOOLCHAIN_VERSION
+
+    def filename(self) -> str:
+        tool = f"{zlib.crc32(self.toolchain.encode()) & 0xFFFFFFFF:08x}"
+        return (
+            f"{self.bytecode_crc & 0xFFFFFFFF:08x}"
+            f"-{self.target}-{self.compiler}-{tool}.vbk"
+        )
+
+
+def atomic_write(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically.
+
+    The bytes go to a ``tempfile`` in the *same directory* (so the final
+    ``os.replace`` is a same-filesystem rename), are flushed and
+    ``fsync``\\ ed, and only then renamed over the destination.  Readers
+    therefore observe either the old content or the new content, never a
+    torn mix — and a crash at any point leaves the destination untouched.
+
+    This is the one write primitive of the service layer; the CLI routes
+    its artifact writes (``repro compile -o``, ``repro report --out``)
+    through it too, so a crash or full disk cannot leave a truncated
+    ``.vbc`` that a later run would trust.
+
+    Fault injection: an active :class:`~repro.faults.CacheTornWrite` plan
+    simulates a crash mid-write — a *partial* temp file is left behind and
+    a classified, injection-marked :class:`CacheError` is raised without
+    the rename ever happening.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        torn = faults.cache_torn_write()
+        if torn is not None:
+            # Simulated kill -9 between the partial write and the rename:
+            # some bytes hit the temp file, the destination never changes.
+            os.write(fd, data[: max(0, len(data) // 2)])
+            os.close(fd)
+            raise _InjectedTornWrite(
+                "torn-write",
+                f"injected crash mid-write of {os.path.basename(path)} "
+                f"({torn!r}); destination untouched",
+            )
+        os.write(fd, data)
+        os.fsync(fd)
+        os.close(fd)
+        os.replace(tmp, path)
+    except _InjectedTornWrite:
+        raise
+    except BaseException:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _pack_entry(payload: bytes) -> bytes:
+    return ENTRY_MAGIC + struct.pack(
+        "<I", zlib.crc32(payload) & 0xFFFFFFFF
+    ) + payload
+
+
+def _unpack_entry(data: bytes) -> bytes:
+    """Verify the VBK1 envelope; returns the payload or raises CacheError."""
+    if len(data) < _HEADER_BYTES:
+        raise CacheError(
+            "truncated",
+            f"entry of {len(data)} bytes, need >= {_HEADER_BYTES}",
+        )
+    if data[: len(ENTRY_MAGIC)] != ENTRY_MAGIC:
+        raise CacheError(
+            "bad-magic",
+            f"expected {ENTRY_MAGIC!r}, got {bytes(data[:4])!r}",
+        )
+    (stored,) = struct.unpack("<I", data[len(ENTRY_MAGIC):_HEADER_BYTES])
+    payload = data[_HEADER_BYTES:]
+    actual = zlib.crc32(payload) & 0xFFFFFFFF
+    if stored != actual:
+        raise CacheError(
+            "bad-checksum",
+            f"entry checksum mismatch: header 0x{stored:08x}, "
+            f"payload 0x{actual:08x}",
+        )
+    return payload
+
+
+class KernelCache:
+    """Persistent, self-healing, LRU-bounded store of compiled kernels.
+
+    ``get`` returns a :class:`~repro.jit.compilers.CompiledKernel`
+    reconstructed from disk, or ``None`` on miss *or* on any corruption
+    (after quarantining the bad entry).  ``put`` serializes the kernel and
+    writes it atomically, then evicts LRU entries past ``byte_budget``.
+
+    Thread-safe: a single lock guards the index; file writes are atomic
+    renames so concurrent readers never see torn entries.
+    """
+
+    def __init__(self, root: str, byte_budget: int = 8 << 20) -> None:
+        self.root = str(root)
+        self.byte_budget = int(byte_budget)
+        self.quarantine_dir = os.path.join(self.root, "quarantine")
+        os.makedirs(self.root, exist_ok=True)
+        self._lock = threading.Lock()
+        #: filename -> size, in LRU order (oldest first).
+        self._index: OrderedDict[str, int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.quarantined = 0
+        self.put_failures = 0
+        self._scan()
+
+    # -- index maintenance ----------------------------------------------------
+
+    def _scan(self) -> None:
+        """Rebuild the LRU index from disk (mtime order, oldest first)."""
+        entries = []
+        for name in os.listdir(self.root):
+            path = os.path.join(self.root, name)
+            if not name.endswith(".vbk") or not os.path.isfile(path):
+                continue
+            st = os.stat(path)
+            entries.append((st.st_mtime_ns, name, st.st_size))
+        self._index.clear()
+        for _mt, name, size in sorted(entries):
+            self._index[name] = size
+
+    def _quarantine(self, name: str, reason: str) -> None:
+        """Move a bad entry aside — it must never be served again, but the
+        evidence is kept for post-mortems."""
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        src = os.path.join(self.root, name)
+        dst = os.path.join(
+            self.quarantine_dir, f"{name}.{self.quarantined}.bad"
+        )
+        try:
+            os.replace(src, dst)
+        except OSError:
+            try:  # fallback: at minimum make it unservable
+                os.unlink(src)
+            except OSError:
+                pass
+        self.quarantined += 1
+        self._index.pop(name, None)
+
+    def _evict_over_budget(self) -> None:
+        while self._index and self.total_bytes() > self.byte_budget:
+            name, _size = self._index.popitem(last=False)
+            try:
+                os.unlink(os.path.join(self.root, name))
+            except OSError:
+                pass
+            self.evictions += 1
+
+    def total_bytes(self) -> int:
+        return sum(self._index.values())
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # -- lookup / insert ------------------------------------------------------
+
+    def get(self, key: CacheKey):
+        """The cached :class:`CompiledKernel` for ``key``, or None.
+
+        Corrupt entries are quarantined and reported as misses — the
+        caller recompiles and ``put`` overwrites, which is the
+        self-healing loop.
+        """
+        from ..jit.compilers import CompiledKernel
+        from ..targets import get_target
+
+        name = key.filename()
+        path = os.path.join(self.root, name)
+        with self._lock:
+            try:
+                with open(path, "rb") as f:
+                    data = f.read()
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+            except OSError as exc:
+                self.misses += 1
+                self._quarantine(name, f"io: {exc}")
+                return None
+            try:
+                payload = _unpack_entry(data)
+                rec = pickle.loads(payload)
+                ck = CompiledKernel(
+                    mfunc=rec["mfunc"],
+                    target=get_target(rec["target"]),
+                    compiler=rec["compiler"],
+                    compile_seconds=rec["compile_seconds"],
+                    stats=dict(rec["stats"]),
+                    degraded=rec["degraded"],
+                    events=list(rec["events"]),
+                )
+            except CacheError as exc:
+                self.misses += 1
+                self._quarantine(name, exc.kind)
+                return None
+            except Exception as exc:  # unpicklable / malformed payload
+                self.misses += 1
+                self._quarantine(name, f"bad-payload: {exc}")
+                return None
+            # LRU touch.
+            self._index.pop(name, None)
+            self._index[name] = len(data)
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+            self.hits += 1
+            return ck
+
+    def put(self, key: CacheKey, ck) -> bool:
+        """Persist ``ck`` under ``key`` atomically; True on success.
+
+        A failed write (including an injected torn write) never poisons
+        the cache: the destination is untouched and the failure is only
+        counted — serving the freshly compiled kernel is unaffected.
+        """
+        payload = pickle.dumps(
+            {
+                "mfunc": ck.mfunc,
+                "target": ck.target.name,
+                "compiler": ck.compiler,
+                "compile_seconds": ck.compile_seconds,
+                "stats": dict(ck.stats),
+                "degraded": ck.degraded,
+                "events": list(ck.events),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        data = _pack_entry(payload)
+        name = key.filename()
+        with self._lock:
+            try:
+                atomic_write(os.path.join(self.root, name), data)
+            except CacheError:
+                self.put_failures += 1
+                return False
+            except OSError:
+                self.put_failures += 1
+                return False
+            self._index.pop(name, None)
+            self._index[name] = len(data)
+            self._evict_over_budget()
+        return True
+
+    def evict(self, key: CacheKey) -> bool:
+        """Remove the entry for ``key`` (cache invalidation); True when an
+        on-disk entry existed and was removed."""
+        name = key.filename()
+        with self._lock:
+            self._index.pop(name, None)
+            try:
+                os.unlink(os.path.join(self.root, name))
+            except FileNotFoundError:
+                return False
+            except OSError:
+                return False
+            self.evictions += 1
+            return True
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._index),
+                "bytes": self.total_bytes(),
+                "byte_budget": self.byte_budget,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_ratio": (
+                    self.hits / (self.hits + self.misses)
+                    if (self.hits + self.misses)
+                    else 0.0
+                ),
+                "evictions": self.evictions,
+                "quarantined": self.quarantined,
+                "put_failures": self.put_failures,
+            }

@@ -1,0 +1,654 @@
+"""The resilient JIT compilation service: ``repro.service.KernelService``.
+
+The paper's split model makes the online stage cheap enough to run
+*everywhere, all the time* — which at ROADMAP scale means a long-running,
+multi-threaded service accepting (kernel, flow, target) compile/run
+requests.  This module composes the resilience primitives of the package
+into that service:
+
+* **admission** (:mod:`.admission`) — a bounded in-flight counter sheds
+  excess load with a classified :class:`OverloadError` instead of
+  queueing unboundedly; per-request :class:`Deadline`\\ s are enforced at
+  every pipeline stage and propagated into the parallel sweep harness.
+* **kernel cache** (:mod:`.cache`) — compiled artifacts are persisted
+  crash-safely and served on later requests; corrupt entries self-heal
+  (quarantine → recompile → overwrite).
+* **circuit breakers** (:mod:`.breaker`) — one per target; a target whose
+  compiles keep failing is short-circuited so requests stop burning
+  retry budget on it.
+* **retries** — transient failures are retried with the harness's
+  jittered exponential :func:`~repro.harness.parallel.backoff_delay`
+  before degrading.
+
+When the primary attempt is exhausted (or short-circuited), the request
+enters the **degradation cascade** — strictly ordered, every step
+recorded as a :class:`~repro.jit.materialize.DegradationEvent`:
+
+1. **native fallback** — serve from the always-available monolithic
+   scalar flow (``native_scalar`` on the ``scalar`` target);
+2. **forced-scalar retry** — recompile the requested flow for the
+   requested target with every loop group scalarized (PR 2's
+   ``force_scalar``), sidestepping vector materializer faults;
+3. **stale cache** — re-serve the last known-good response for the same
+   request shape, explicitly marked ``stale``;
+4. **classified rejection** — a :class:`ServiceResponse` with
+   ``status="rejected"``, a closed-taxonomy error tag, and the full
+   event chain.  Never a silent wrong answer, never a traceback.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from ..errors import classify
+from ..harness.flows import FLOWS, FlowResult, FlowRunner
+from ..harness.parallel import backoff_delay, run_cells
+from ..jit.materialize import DegradationEvent
+from ..kernels import get_kernel
+from ..targets import get_target
+from .admission import AdmissionQueue, Deadline, DeadlineError, OverloadError
+from .breaker import CircuitBreaker, CircuitOpenError
+from .cache import CacheKey, KernelCache, canonical_crc
+
+__all__ = ["ServiceRequest", "ServiceResponse", "KernelService"]
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One compile/run request for a (kernel, flow, target) tuple."""
+
+    kernel: str
+    flow: str = "split_vec_gcc4cli"
+    target: str = "sse"
+    size: int | None = None
+    #: wall-clock budget in seconds (None = no deadline).
+    deadline_s: float | None = None
+
+
+@dataclass
+class ServiceResponse:
+    """The service's answer — always well-formed, never a traceback.
+
+    ``status`` is one of:
+
+    ========== =========================================================
+    status     meaning
+    ========== =========================================================
+    ``ok``       served from the primary path, clean vector compile
+    ``degraded`` served correctly but via a fallback (compile-level
+                 scalarization or a cascade step); ``events`` says why
+    ``stale``    served from the last known-good result after the whole
+                 compile path failed — correct *for that earlier run*
+    ``shed``     rejected at admission (:class:`OverloadError`)
+    ``rejected`` every cascade step failed; ``error`` holds the
+                 classified tag of the root failure
+    ========== =========================================================
+    """
+
+    request: ServiceRequest
+    status: str
+    result: FlowResult | None = None
+    #: closed-taxonomy tag (:func:`repro.errors.classify`) when not served.
+    error: str | None = None
+    #: the DegradationEvent chain explaining every fallback step taken.
+    events: list = field(default_factory=list)
+    from_cache: bool = False
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True when a (possibly degraded/stale) result was served."""
+        return self.result is not None
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.events)
+
+
+def _event(kernel: str, target: str, cause: str, detail: str = ""):
+    return DegradationEvent(
+        function=kernel, target=target, group=None, cause=cause,
+        detail=detail,
+    )
+
+
+class KernelService:
+    """A long-running, multi-threaded JIT compilation service.
+
+    Synchronous use::
+
+        svc = KernelService(cache_dir="/var/cache/repro")
+        resp = svc.handle(ServiceRequest("saxpy_fp", target="sse"))
+
+    Concurrent use::
+
+        futures = [svc.submit(r) for r in requests]   # sheds when full
+        responses = [f.result() for f in futures]
+
+    All configuration knobs are constructor arguments; ``rng_seed`` makes
+    retry jitter deterministic for seeded campaigns.  The service is a
+    context manager (``close()`` drains the worker pool).
+    """
+
+    #: cascade step names, in order (documented in docs/service.md).
+    CASCADE = ("native-fallback", "forced-scalar", "stale-cache")
+
+    def __init__(
+        self,
+        cache_dir: str | None = None,
+        cache_budget: int = 8 << 20,
+        queue_limit: int = 32,
+        workers: int = 4,
+        retries: int = 2,
+        backoff_base: float = 0.005,
+        breaker_threshold: int = 3,
+        breaker_cooldown: int = 6,
+        engine: str = "threaded",
+        check: bool = True,
+        rng_seed: int = 0,
+    ) -> None:
+        self.runner = FlowRunner(engine=engine, check=check)
+        self.cache = (
+            KernelCache(cache_dir, cache_budget)
+            if cache_dir is not None
+            else None
+        )
+        self.admission = AdmissionQueue(queue_limit)
+        self.retries = int(retries)
+        self.backoff_base = float(backoff_base)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = int(breaker_cooldown)
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._stale: dict[tuple, FlowResult] = {}
+        self._instances: dict[tuple, object] = {}
+        self._rng = random.Random(rng_seed)
+        self._lock = threading.RLock()  # IR caches, counters, breakers
+        self._pool = ThreadPoolExecutor(
+            max_workers=int(workers), thread_name_prefix="repro-service"
+        )
+        self._started = time.monotonic()
+        self._counts: dict[str, int] = {
+            "requests": 0,
+            "ok": 0,
+            "degraded": 0,
+            "stale": 0,
+            "shed": 0,
+            "rejected": 0,
+            "retries": 0,
+            "deadline_misses": 0,
+            "degradation_events": 0,
+            "breaker_short_circuits": 0,
+            "internal_errors": 0,
+        }
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "KernelService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- request entry points -------------------------------------------------
+
+    def handle(self, request: ServiceRequest) -> ServiceResponse:
+        """Serve one request synchronously (admission still applies)."""
+        self._bump("requests")
+        try:
+            slot = self.admission.admit()
+        except OverloadError as exc:
+            return self._shed_response(request, exc)
+        with slot:
+            return self._guarded_serve(request)
+
+    def submit(self, request: ServiceRequest) -> Future:
+        """Enqueue a request onto the worker pool.
+
+        Admission is charged *now* — at submission — so a flood of
+        submissions past ``queue_limit`` is shed immediately (the future
+        resolves to a ``shed`` response) instead of parking unboundedly
+        in the executor queue.
+        """
+        self._bump("requests")
+        try:
+            slot = self.admission.admit()
+        except OverloadError as exc:
+            fut: Future = Future()
+            fut.set_result(self._shed_response(request, exc))
+            return fut
+
+        def work() -> ServiceResponse:
+            with slot:
+                return self._guarded_serve(request)
+
+        try:
+            return self._pool.submit(work)
+        except RuntimeError as exc:  # pool shut down
+            slot.__exit__(None, None, None)
+            fut = Future()
+            fut.set_result(
+                ServiceResponse(
+                    request, "rejected", error=classify(exc),
+                    events=[_event(request.kernel, request.target,
+                                   "service-closed", str(exc))],
+                )
+            )
+            return fut
+
+    def serve(self, requests) -> list:
+        """Submit a batch concurrently; responses in request order."""
+        futures = [self.submit(r) for r in requests]
+        return [f.result() for f in futures]
+
+    def sweep(self, cells, deadline_s: float | None = None, **kwargs):
+        """Run a parallel experiment sweep with the request deadline
+        propagated into :func:`repro.harness.parallel.run_cells` (the
+        remaining budget tightens every cell's timeout)."""
+        deadline = Deadline(deadline_s)
+        return run_cells(cells, deadline=deadline, **kwargs)
+
+    # -- surfaces -------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Cheap liveness/pressure summary (the ``/healthz`` analogue)."""
+        with self._lock:
+            breakers = {t: b.state for t, b in self._breakers.items()}
+        adm = self.admission.stats()
+        status = "ok"
+        if any(s != "closed" for s in breakers.values()):
+            status = "degraded"
+        if adm["depth"] >= adm["limit"]:
+            status = "overloaded"
+        return {
+            "status": status,
+            "uptime_s": time.monotonic() - self._started,
+            "queue_depth": adm["depth"],
+            "queue_limit": adm["limit"],
+            "breakers": breakers,
+            "cache_enabled": self.cache is not None,
+        }
+
+    def stats(self) -> dict:
+        """Full counter census for dashboards and the soak artifact."""
+        with self._lock:
+            counts = dict(self._counts)
+            breakers = {
+                t: b.snapshot() for t, b in sorted(self._breakers.items())
+            }
+        out = {
+            **counts,
+            "admission": self.admission.stats(),
+            "breakers": breakers,
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
+        served = counts["ok"] + counts["degraded"] + counts["stale"]
+        out["served"] = served
+        return out
+
+    # -- internals ------------------------------------------------------------
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[key] += n
+
+    def _shed_response(self, request, exc) -> ServiceResponse:
+        self._bump("shed")
+        return ServiceResponse(request, "shed", error=classify(exc))
+
+    def _breaker(self, target: str) -> CircuitBreaker:
+        with self._lock:
+            b = self._breakers.get(target)
+            if b is None:
+                b = self._breakers[target] = CircuitBreaker(
+                    self.breaker_threshold, self.breaker_cooldown
+                )
+            return b
+
+    def _instance(self, kernel: str, size: int | None):
+        key = (kernel, size)
+        with self._lock:
+            inst = self._instances.get(key)
+            if inst is None:
+                inst = self._instances[key] = get_kernel(kernel).instantiate(
+                    size
+                )
+            return inst
+
+    def _guarded_serve(self, request: ServiceRequest) -> ServiceResponse:
+        """The no-traceback guarantee: anything the pipeline (or a bug in
+        the service itself) throws becomes a classified rejection."""
+        try:
+            return self._serve(request)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # pragma: no cover - defensive last line
+            self._bump("internal_errors")
+            self._bump("rejected")
+            return ServiceResponse(
+                request, "rejected", error=classify(exc),
+                events=[_event(request.kernel, request.target,
+                               "internal-error", f"{classify(exc)}: {exc}")],
+            )
+
+    def _serve(self, request: ServiceRequest) -> ServiceResponse:
+        deadline = Deadline(request.deadline_s)
+        # Request validation: malformed requests are rejected up front.
+        if request.flow not in FLOWS:
+            self._bump("rejected")
+            return ServiceResponse(
+                request, "rejected", error="bad-request",
+                events=[_event(request.kernel, request.target, "bad-request",
+                               f"unknown flow {request.flow!r}")],
+            )
+        try:
+            get_target(request.target)
+            inst = self._instance(request.kernel, request.size)
+        except Exception as exc:
+            self._bump("rejected")
+            return ServiceResponse(
+                request, "rejected", error="bad-request",
+                events=[_event(request.kernel, request.target, "bad-request",
+                               f"{type(exc).__name__}: {exc}")],
+            )
+
+        events: list = []
+        breaker = self._breaker(request.target)
+        primary_exc: Exception | None = None
+        attempts = 0
+
+        if breaker.allow():
+            try:
+                resp, attempts = self._attempt_with_retries(
+                    request, inst, request.flow, request.target, deadline,
+                    force_scalar=False,
+                )
+            except DeadlineError as exc:
+                # Expiry is load, not target health: no breaker charge,
+                # and the cascade would only blow the budget further.
+                self._bump("deadline_misses")
+                self._bump("rejected")
+                return ServiceResponse(
+                    request, "rejected", error=classify(exc), events=events,
+                    attempts=max(1, attempts),
+                )
+            except Exception as exc:
+                primary_exc = exc
+                breaker.record_failure()
+                events.append(_event(
+                    request.kernel, request.target, "primary-failed",
+                    f"{classify(exc)}: {exc}",
+                ))
+            else:
+                breaker.record_success()
+                self._remember_good(request, resp)
+                return self._finish(resp)
+        else:
+            self._bump("breaker_short_circuits")
+            events.append(_event(
+                request.kernel, request.target, "breaker-open",
+                f"target {request.target!r} circuit is "
+                f"{breaker.state}; primary attempt short-circuited",
+            ))
+
+        return self._cascade(
+            request, inst, deadline, events, primary_exc, attempts
+        )
+
+    def _attempt_with_retries(
+        self, request, inst, flow, target_name, deadline, force_scalar
+    ):
+        """(response, attempts) for one (flow, target) shape, retrying
+        transient classified failures with jittered exponential backoff."""
+        last: Exception | None = None
+        attempts = 0
+        for attempt in range(1, self.retries + 2):
+            deadline.check(f"before attempt {attempt}")
+            attempts = attempt
+            if attempt > 1:
+                self._bump("retries")
+                delay = backoff_delay(
+                    attempt - 1, base=self.backoff_base, cap=0.1,
+                    rng=self._rng,
+                )
+                rem = deadline.remaining()
+                if rem is not None:
+                    delay = min(delay, rem)
+                if delay > 0:
+                    time.sleep(delay)
+            try:
+                resp = self._attempt_once(
+                    request, inst, flow, target_name, deadline, force_scalar
+                )
+                resp.attempts = attempt
+                return resp, attempts
+            except (KeyboardInterrupt, SystemExit, DeadlineError):
+                raise
+            except Exception as exc:
+                last = exc
+        assert last is not None
+        raise last
+
+    def _attempt_once(
+        self, request, inst, flow, target_name, deadline, force_scalar
+    ) -> ServiceResponse:
+        target = get_target(target_name)
+        ck, from_cache = self._compiled(inst, flow, target, force_scalar)
+        deadline.check("after compilation")
+        result = self._execute(inst, ck, flow, target)
+        events = list(ck.events)
+        status = "degraded" if events else "ok"
+        return ServiceResponse(
+            request, status, result=result, events=events,
+            from_cache=from_cache,
+        )
+
+    # -- compile path (cache-fronted) ----------------------------------------
+
+    def _cache_key_ir(self, inst, flow, target, force_scalar=False):
+        """(CacheKey, ir, jit_cls) for one request shape.
+
+        Cache identity uses the canonical printed form of the bytecode
+        (positional SSA ids), which is stable across processes, where the
+        raw encoded stream embeds process-global gensym counters.
+        """
+        from ..ir import print_function
+
+        form, jit_cls = FLOWS[flow]
+        with self._lock:
+            if form == "scalar":
+                ir = self.runner.scalar_ir(inst)
+            elif form == "split":
+                ir = self.runner.split_ir(inst)
+            else:
+                ir = self.runner.native_ir(inst, target)
+            canon = print_function(ir).encode()
+        crc = canonical_crc(canon)
+        compiler = jit_cls.name + ("+scalarized" if force_scalar else "")
+        return CacheKey(crc, target.name, compiler), ir, jit_cls
+
+    def evict(self, kernel: str, flow: str, target: str,
+              size: int | None = None, force_scalar: bool = False) -> bool:
+        """Drop the persistent cache entry for one request shape.
+
+        The operational cache-invalidation surface: True when an on-disk
+        entry existed and was removed.  (Also what the chaos soak uses to
+        force a real compile-and-put on a warm cache.)
+        """
+        if self.cache is None:
+            return False
+        inst = self._instance(kernel, size)
+        key, _ir, _jit = self._cache_key_ir(
+            inst, flow, get_target(target), force_scalar
+        )
+        return self.cache.evict(key)
+
+    def _compiled(self, inst, flow, target, force_scalar=False):
+        """(CompiledKernel, from_cache) for one request shape."""
+        key, ir, jit_cls = self._cache_key_ir(
+            inst, flow, target, force_scalar
+        )
+        if self.cache is not None:
+            ck = self.cache.get(key)
+            if ck is not None:
+                return ck, True
+        with self._lock:
+            ck = jit_cls().compile(ir, target, force_scalar=force_scalar)
+        if self.cache is not None and not self._tainted(ck):
+            # A failed write (ENOSPC, injected torn write) only loses the
+            # cache benefit; the freshly compiled kernel is still served.
+            self.cache.put(key, ck)
+        return ck, False
+
+    @staticmethod
+    def _tainted(ck) -> bool:
+        """Must this artifact be kept out of the persistent cache?
+
+        A kernel that degraded *while a fault plan was installed* (or
+        whose events record an injected cause) reflects the fault, not
+        the toolchain — persisting it would serve a needlessly
+        scalarized artifact long after the fault cleared, the exact
+        cached-artifact rot Revec warns about.  Genuine deterministic
+        degradations (e.g. AltiVec's unsupported unaligned store) are
+        cacheable: they reproduce identically on recompile.
+        """
+        from .. import faults as _faults
+
+        if any(e.cause == "fault-injected" for e in ck.events):
+            return True
+        return ck.degraded and _faults.active_plan() is not None
+
+    def _execute(self, inst, ck, flow, target) -> FlowResult:
+        """Run a compiled kernel exactly like FlowRunner.run would, so a
+        warm-cache service response is byte-identical to a cold run."""
+        bufs = self.runner.make_buffers(inst)
+        if self.runner.engine == "threaded":
+            vm_result = ck.threaded().run(inst.scalar_args, bufs)
+        else:
+            from ..machine import VM
+
+            vm_result = VM(target).run(ck.mfunc, inst.scalar_args, bufs)
+        checked = False
+        if self.runner.check:
+            self.runner.verify(inst, bufs, vm_result.value)
+            checked = True
+        with self._lock:
+            scalar_bytes, vec_bytes = self.runner.bytecode_sizes(inst)
+        form = FLOWS[flow][0]
+        return FlowResult(
+            kernel=inst.name,
+            flow=flow,
+            target=target.name,
+            cycles=vm_result.cycles,
+            value=vm_result.value,
+            compile_seconds=ck.compile_seconds,
+            bytecode_bytes=scalar_bytes if form == "scalar" else vec_bytes,
+            checked=checked,
+            stats=dict(ck.stats),
+        )
+
+    # -- the degradation cascade ---------------------------------------------
+
+    def _cascade(
+        self, request, inst, deadline, events, primary_exc, attempts
+    ) -> ServiceResponse:
+        """native target -> forced-scalar retry -> stale cache ->
+        classified rejection.  Every step leaves a DegradationEvent."""
+        root = (
+            f"{classify(primary_exc)}: {primary_exc}"
+            if primary_exc is not None
+            else "breaker open"
+        )
+
+        # Step 1: the always-available monolithic scalar flow.
+        if (request.flow, request.target) != ("native_scalar", "scalar"):
+            try:
+                deadline.check("before native fallback")
+                resp = self._attempt_once(
+                    request, inst, "native_scalar", "scalar", deadline,
+                    force_scalar=False,
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                events.append(_event(
+                    request.kernel, "scalar", "native-fallback-failed",
+                    f"{classify(exc)}: {exc}",
+                ))
+            else:
+                events.append(_event(
+                    request.kernel, "scalar", "native-fallback",
+                    f"served via native_scalar/scalar after: {root}",
+                ))
+                resp.status = "degraded"
+                resp.events = events + resp.events
+                return self._finish(resp)
+
+        # Step 2: requested shape, every loop group force-scalarized.
+        try:
+            deadline.check("before forced-scalar retry")
+            resp = self._attempt_once(
+                request, inst, request.flow, request.target, deadline,
+                force_scalar=True,
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            events.append(_event(
+                request.kernel, request.target, "forced-scalar-failed",
+                f"{classify(exc)}: {exc}",
+            ))
+        else:
+            events.append(_event(
+                request.kernel, request.target, "forced-scalar",
+                f"served with all groups scalarized after: {root}",
+            ))
+            resp.status = "degraded"
+            resp.events = events + resp.events
+            return self._finish(resp)
+
+        # Step 3: last known-good result for this exact request shape.
+        stale = self._stale.get(self._stale_key(request))
+        if stale is not None:
+            events.append(_event(
+                request.kernel, request.target, "stale-cache",
+                f"re-serving last known-good result after: {root}",
+            ))
+            return self._finish(ServiceResponse(
+                request, "stale", result=replace(stale), events=events,
+            ))
+
+        # Step 4: classified rejection — the fail-soft floor.
+        exc = primary_exc if primary_exc is not None else CircuitOpenError(
+            request.target, "degradation cascade exhausted"
+        )
+        self._bump("degradation_events", len(events))
+        self._bump("rejected")
+        return ServiceResponse(
+            request, "rejected", error=classify(exc), events=events,
+            attempts=max(1, attempts),
+        )
+
+    def _stale_key(self, request) -> tuple:
+        return (request.kernel, request.size, request.flow, request.target)
+
+    def _remember_good(self, request, resp) -> None:
+        if resp.result is not None and resp.result.checked:
+            with self._lock:
+                self._stale[self._stale_key(request)] = resp.result
+
+    def _finish(self, resp: ServiceResponse) -> ServiceResponse:
+        self._bump(resp.status)
+        if resp.events:
+            self._bump("degradation_events", len(resp.events))
+        return resp

@@ -82,6 +82,59 @@ def test_report_summary_mentions_invariant():
     assert "5 faults injected" in rep.summary()
 
 
+# -- service profile ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service_campaign():
+    """One service-profile soak shared by the assertions below (the CI
+    job runs the full 200-fault version; this keeps tier-1 quick)."""
+    from repro.harness.chaos import run_service_campaign
+
+    return run_service_campaign(n_faults=60, seed=2026)
+
+
+def test_service_campaign_invariant_holds(service_campaign):
+    assert service_campaign.ok, service_campaign.summary()
+
+
+def test_service_campaign_covers_every_service_layer(service_campaign):
+    from repro.harness.chaos import SERVICE_LAYERS
+
+    hit = {t.layer for t in service_campaign.trials}
+    assert set(SERVICE_LAYERS) <= hit
+
+
+def test_service_campaign_exercises_the_cascade(service_campaign):
+    outcomes = {t.outcome for t in service_campaign.trials}
+    # every resilience mechanism observably fired at least once
+    assert "healed" in outcomes        # corrupt entry quarantined+recompiled
+    assert "crash-safe" in outcomes    # torn write left destination clean
+    assert "served-stale" in outcomes  # stale step of the cascade
+    assert "breaker-cycled" in outcomes  # closed -> open -> half-open -> closed
+    assert "degraded-correct" in outcomes
+
+
+def test_service_campaign_reports_service_stats(service_campaign):
+    stats = service_campaign.service_stats
+    assert stats is not None
+    assert stats["requests"] > 0
+    assert stats["cache"]["quarantined"] > 0
+    assert stats["cache"]["put_failures"] > 0
+
+
+def test_service_campaign_deterministic_in_seed():
+    from repro.harness.chaos import run_service_campaign
+
+    a = run_service_campaign(n_faults=15, seed=11)
+    b = run_service_campaign(n_faults=15, seed=11)
+    assert [
+        (t.layer, t.kernel, t.fault, t.outcome) for t in a.trials
+    ] == [
+        (t.layer, t.kernel, t.fault, t.outcome) for t in b.trials
+    ]
+
+
 @pytest.mark.slow
 def test_harness_layer_quarantines():
     """Worker crash + stall inside a real process pool: the sweep finishes

