@@ -1,25 +1,18 @@
-"""Quickstart: auto-vectorize once, run everywhere.
+"""Quickstart: auto-vectorize once, run everywhere — via the facade.
 
-Compiles a saxpy kernel from VaporC source, auto-vectorizes it *once* into
-portable vectorized bytecode, then runs that same bytecode on four different
-SIMD targets (and a SIMD-less one), printing the speedup each JIT extracts.
+Compiles a saxpy kernel from VaporC source with the one-call
+:class:`repro.Pipeline` API: auto-vectorize *once* into portable
+vectorized bytecode, then run that same bytecode on four different SIMD
+targets (and a SIMD-less one), printing the speedup each JIT extracts.
+Finally records one traced run with :mod:`repro.obs` to show the
+five-phase span taxonomy (see docs/observability.md).
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import (
-    ArrayBuffer,
-    MonoJIT,
-    VM,
-    compile_source,
-    decode_function,
-    encode_function,
-    get_target,
-    split_config,
-    vectorize_function,
-)
+from repro import Pipeline, get_target, obs
 
 SOURCE = """
 void saxpy(int n, float alpha, float x[n], float y[n]) {
@@ -31,47 +24,49 @@ void saxpy(int n, float alpha, float x[n], float y[n]) {
 
 
 def main() -> None:
-    # --- offline stage: compile and auto-vectorize once ------------------
-    module = compile_source(SOURCE)
-    scalar_ir = module["saxpy"]
-    bytecode = encode_function(vectorize_function(scalar_ir, split_config()))
-    print(f"portable vectorized bytecode: {len(bytecode)} bytes\n")
-
-    # --- online stage: JIT the same bytecode for each machine -------------
     n = 1000
     rng = np.random.default_rng(42)
     x = rng.standard_normal(n).astype(np.float32)
     y = rng.standard_normal(n).astype(np.float32)
     expected = 2.5 * x + y
+    args = {"n": n, "alpha": 2.5}
+    arrays = {"x": x, "y": y}
 
+    # --- offline stage: compile and auto-vectorize once ------------------
+    # Pipeline.compile runs frontend -> vectorize -> encode -> JIT; the
+    # .vbc blob it produces is the *portable* artifact every target shares.
+    arts = Pipeline(target="sse", compiler="mono").compile(SOURCE)
+    print(f"portable vectorized bytecode: {len(arts.bytecode)} bytes\n")
+    elem = arts.scalar_ir.find_array("x").elem
+
+    # --- online stage: JIT the same bytecode for each machine -------------
     print(f"{'target':10s} {'VF':>3s} {'vector cyc':>11s} "
           f"{'scalar cyc':>11s} {'speedup':>8s}")
     for name in ("sse", "altivec", "neon", "avx", "scalar"):
-        target = get_target(name)
-        jit = MonoJIT()
-        vec_fn = decode_function(bytecode)
-        compiled = jit.compile(vec_fn, target)
-        compiled_scalar = jit.compile(scalar_ir, target)
-
-        def run(ck):
-            bufs = {
-                "x": ArrayBuffer(scalar_ir.find_array("x").elem, n, data=x),
-                "y": ArrayBuffer(scalar_ir.find_array("y").elem, n, data=y),
-            }
-            res = VM(target).run(ck.mfunc, {"n": n, "alpha": 2.5}, bufs)
-            assert np.allclose(bufs["y"].read_elements(), expected, rtol=1e-5)
-            return res.cycles
-
-        vec_cycles = run(compiled)
-        scalar_cycles = run(compiled_scalar)
-        vf = target.vf(scalar_ir.find_array("x").elem)
+        vec = Pipeline(target=name, compiler="mono").run(
+            SOURCE, args, arrays
+        )
+        scal = Pipeline(target=name, compiler="mono", vectorize=False).run(
+            SOURCE, args, arrays
+        )
+        for arts_i in (vec, scal):
+            got = arts_i.arrays["y"].read_elements()
+            assert np.allclose(got, expected, rtol=1e-5)
+        vf = get_target(name).vf(elem)
         print(
-            f"{name:10s} {vf:3d} {vec_cycles:11.0f} {scalar_cycles:11.0f} "
-            f"{scalar_cycles / vec_cycles:7.2f}x"
+            f"{name:10s} {vf:3d} {vec.cycles:11.0f} {scal.cycles:11.0f} "
+            f"{scal.cycles / vec.cycles:7.2f}x"
         )
     print("\nOne bytecode; every target got its own best code. "
           "(scalar = no SIMD: the loop_bound idiom collapses the "
           "vectorized structure back to a single scalar loop.)")
+
+    # --- one traced run: the five-phase observability spine ---------------
+    with obs.recording() as ob:
+        Pipeline(target="sse").run(SOURCE, args, arrays)
+    names = [s.name for s in ob.spans() if s.phase in obs.PHASES]
+    print(f"\ntraced one run: phases {' -> '.join(names)} "
+          "(export with ob.write_trace / render with `repro trace`)")
 
 
 if __name__ == "__main__":

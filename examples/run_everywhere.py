@@ -17,20 +17,15 @@ online target lowers the realign_load — the four translation schemes of
 * NEON: VF=2 and, since mis=8 is divisible by VS=8, an *aligned* load;
 * scalar: VF=1, the loop_bound collapse leaves one scalar loop.
 
+The whole flow goes through the one-call :class:`repro.Pipeline` facade
+(docs/api.md): ``compile`` for the offline view, ``run`` per target.
+
 Run:  python examples/run_everywhere.py
 """
 
 import numpy as np
 
-from repro import (
-    ArrayBuffer,
-    OptimizingJIT,
-    VM,
-    compile_source,
-    get_target,
-    split_config,
-    vectorize_function,
-)
+from repro import Pipeline, get_target
 from repro.ir import print_function
 
 SOURCE = """
@@ -45,36 +40,32 @@ float sum_stream(int n, float a[]) {
 
 
 def main() -> None:
-    module = compile_source(SOURCE)
-    scalar_ir = module["sum_stream"]
-    vec_ir = vectorize_function(scalar_ir, split_config())
+    offline = Pipeline(target="sse").compile(SOURCE)
 
     print("=" * 72)
     print("Vectorized bytecode (compare with the paper's Figure 3a)")
     print("=" * 72)
-    print(print_function(vec_ir))
+    print(print_function(offline.vector_ir))
 
     n = 203
     rng = np.random.default_rng(0)
     a = rng.standard_normal(n + 4).astype(np.float32)
     expected = float(a[2 : n + 2].sum())
+    elem = offline.scalar_ir.find_array("a").elem
 
     print()
     print("=" * 72)
     print("Per-target lowering of the same bytecode (§III-C)")
     print("=" * 72)
     for name in ("altivec", "sse", "neon", "scalar"):
-        target = get_target(name)
-        compiled = OptimizingJIT().compile(vec_ir, target)
-        ops = {}
-        for ins in compiled.mfunc.instrs:
+        arts = Pipeline(target=name).run(SOURCE, {"n": n}, {"a": a})
+        assert np.isclose(float(arts.value), expected, rtol=1e-4)
+        ops: dict[str, int] = {}
+        for ins in arts.compiled.mfunc.instrs:
             if ins.op in ("vperm", "lvsr", "vload_fa", "vload_u", "vload_a",
                           "load"):
                 ops[ins.op] = ops.get(ins.op, 0) + 1
-        bufs = {"a": ArrayBuffer(scalar_ir.find_array("a").elem, n + 4, data=a)}
-        res = VM(target).run(compiled.mfunc, {"n": n}, bufs)
-        assert np.isclose(float(res.value), expected, rtol=1e-4)
-        vf = target.vf(scalar_ir.find_array("a").elem)
+        vf = get_target(name).vf(elem)
         scheme = (
             "explicit realignment (vperm)"
             if ops.get("vperm")
@@ -86,7 +77,7 @@ def main() -> None:
         )
         print(
             f"{name:8s} VF={vf}  scheme: {scheme:30s} "
-            f"mem ops in code: {ops}  cycles={res.cycles:.0f}"
+            f"mem ops in code: {ops}  cycles={arts.cycles:.0f}"
         )
     print("\nSame bytecode, four different machine-code shapes — "
           "'auto-vectorize once, run everywhere'.")

@@ -6,7 +6,15 @@ vectorized bytecode over abstract SIMD idioms, and lightweight online
 compilers that materialize it for SSE, AltiVec, NEON, AVX, or scalarize it
 — executed on a cycle-cost virtual machine.
 
-Quick start::
+Quick start — the one-call facade (see ``docs/api.md``)::
+
+    from repro import compile_and_run
+
+    arts = compile_and_run(open("kernel.c").read(),
+                           {"n": 64}, {"x": x, "y": y}, target="neon")
+    print(arts.cycles, arts.arrays["y"].read_elements())
+
+or stage by stage with the historical entry points::
 
     from repro import compile_source, split_config, vectorize_function
     from repro import MonoJIT, VM, ArrayBuffer, get_target
@@ -16,8 +24,18 @@ Quick start::
     target = get_target("sse")
     compiled = MonoJIT().compile(bytecode, target)
     result = VM(target).run(compiled.mfunc, {...}, {...})
+
+Tracing and metrics for either path live in :mod:`repro.obs`
+(``docs/observability.md``)::
+
+    from repro import obs
+    with obs.recording() as ob:
+        compile_and_run(...)
+    ob.write_trace("trace.jsonl")
 """
 
+from . import obs
+from .api import Pipeline, RunArtifacts, compile_and_run
 from .bytecode import decode_function, decode_module, encode_function, encode_module
 from .frontend import compile_source
 from .harness import FlowRunner, figure5, figure6, table3
@@ -30,6 +48,10 @@ from .vectorizer import native_config, split_config, vectorize_function, vectori
 __version__ = "1.0.0"
 
 __all__ = [
+    "Pipeline",
+    "RunArtifacts",
+    "compile_and_run",
+    "obs",
     "compile_source",
     "vectorize_function",
     "vectorize_module",

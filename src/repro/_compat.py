@@ -1,0 +1,32 @@
+"""Deprecation shims for the API normalization (see docs/api.md).
+
+Every deprecated alias funnels through :func:`warn_once`, which emits a
+:class:`DeprecationWarning` **exactly once per process per alias** —
+loud enough to notice, quiet enough not to spam a million-request
+service log.  Tests reset the registry via :func:`reset`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_once", "reset"]
+
+_WARNED: set[str] = set()
+
+
+def warn_once(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Warn that ``old`` is deprecated in favour of ``new`` (once)."""
+    if old in _WARNED:
+        return
+    _WARNED.add(old)
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset() -> None:
+    """Forget which aliases already warned (test isolation hook)."""
+    _WARNED.clear()

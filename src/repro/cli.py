@@ -17,14 +17,44 @@ Commands mirror the toolchain's stages:
   layer and assert the fail-soft invariant (see docs/resilience.md).
 * ``serve``    — run the resilient JIT compilation service against a
   seeded synthetic request stream (see docs/service.md).
+* ``trace``    — render a JSONL trace (from ``--trace-out``) as a
+  phase-attributed span tree with wall-time and VM-cycle rollups.
+
+``compile``, ``run``, ``report``, and ``serve`` accept ``--trace-out
+FILE`` and ``--metrics-out FILE`` to record the observability spine
+(:mod:`repro.obs`, docs/observability.md) for the invocation.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 __all__ = ["main"]
+
+
+@contextmanager
+def _obs_session(args):
+    """Record tracing/metrics around one command when ``--trace-out`` /
+    ``--metrics-out`` were given; write the artifacts (atomically) after
+    the command returns.  Commands without the flags pay nothing."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        yield None
+        return
+    from . import obs
+
+    with obs.recording() as ob:
+        yield ob
+    if trace_out:
+        ob.write_trace(trace_out)
+        print(f"trace written to {trace_out} "
+              f"(render with: repro trace {trace_out})")
+    if metrics_out:
+        ob.write_metrics(metrics_out)
+        print(f"metrics written to {metrics_out}")
 
 
 def _read_text(path: str) -> str:
@@ -56,16 +86,19 @@ def _atomic_out(path: str, data: bytes) -> None:
 
 
 def _cmd_compile(args) -> int:
+    from . import obs
+    from .api import frontend_phase, smoke_run, vectorize_phase
     from .bytecode import encode_module
-    from .frontend import compile_source
-    from .vectorizer import split_config, vectorize_module
+    from .vectorizer import split_config
 
     try:
         source = _read_text(args.source)
     except OSError as exc:
         return _input_error(args.source, exc)
-    module = compile_source(source)
+    module = frontend_phase(source)
     if args.scalar_only:
+        with obs.span("vectorize", phase="vectorize") as sp:
+            sp.set(skipped=True)
         out_module = module
     else:
         cfg = split_config(
@@ -73,15 +106,44 @@ def _cmd_compile(args) -> int:
             enable_slp=not args.no_slp,
             enable_outer=not args.no_outer,
         )
-        out_module = vectorize_module(module, cfg)
+        out_module = vectorize_phase(module, cfg)
         for fn in out_module:
             report = fn.annotations.get("vect_report", {})
             for loop, verdict in report.items():
                 print(f"{fn.name}: {loop}: {verdict}")
-    blob = encode_module(out_module)
+    with obs.span("encode", phase="encode") as sp:
+        blob = encode_module(out_module)
+        sp.set(bytes=len(blob))
     _atomic_out(args.output, blob)
     print(f"wrote {args.output}: {len(blob)} bytes, "
           f"{len(out_module.functions)} function(s)")
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+        # Compile-only invocations still trace all five phases: each
+        # function gets a best-effort JIT + smoke execution on
+        # synthesized inputs (failures are recorded on the span, never
+        # fatal — the .vbc artifact above is already written).
+        for fn in out_module:
+            smoke_run(fn, module[fn.name], target=args.smoke_target)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Render a JSONL trace as a phase-attributed span tree."""
+    from .obs import TraceFormatError, load_trace, render_trace
+
+    try:
+        text = _read_text(args.trace)
+    except OSError as exc:
+        return _input_error(args.trace, exc)
+    try:
+        records = load_trace(text.splitlines())
+    except TraceFormatError as exc:
+        print(f"repro: {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"repro: {args.trace}: empty trace", file=sys.stderr)
+        return 1
+    print(render_trace(records, phase=args.phase))
     return 0
 
 
@@ -294,7 +356,7 @@ def _cmd_serve(args) -> int:
         cache_dir=cache_dir,
         queue_limit=args.queue_limit,
         workers=args.jobs,
-        rng_seed=args.seed,
+        seed=args.seed,
     )
     try:
         reqs = [
@@ -351,6 +413,14 @@ def _cmd_serve(args) -> int:
             shutil.rmtree(tmp_cache, ignore_errors=True)
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="record trace spans for this invocation as JSONL "
+                   "(render with `repro trace FILE`)")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the metrics-registry snapshot as JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -368,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable alignment hints/versioning (SV-A.b ablation)")
     p.add_argument("--no-slp", action="store_true")
     p.add_argument("--no-outer", action="store_true")
+    p.add_argument("--smoke-target", default="sse",
+                   help="target for the best-effort smoke execution "
+                   "performed when tracing (default sse)")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser("disasm", help="print the IR of a .vbc container")
@@ -396,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", default="threaded",
                    choices=["threaded", "reference"],
                    help="execution engine (bit-identical results)")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("report", help="regenerate the paper's figures/tables")
@@ -408,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the historical small Figure 5 problem sizes")
     p.add_argument("--timings", action="store_true",
                    help="print per-sweep wall-clock stats to stderr")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(
@@ -455,7 +531,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission-queue bound (requests beyond it shed)")
     p.add_argument("--stats-out",
                    help="write health + stats snapshot as JSON")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="render a JSONL trace (--trace-out) as a span tree",
+    )
+    p.add_argument("trace", help="trace file written by --trace-out")
+    p.add_argument("--phase",
+                   help="only show spans of one phase (frontend, "
+                   "vectorize, encode, jit, vm, service, ...)")
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 
@@ -463,7 +550,9 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    with _obs_session(args):
+        rc = args.func(args)
+    return rc
 
 
 if __name__ == "__main__":

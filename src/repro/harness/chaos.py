@@ -356,7 +356,7 @@ class _ServiceSoak:
         # sleeps); tight breaker knobs make open/half-open/closed cycles
         # happen organically within a 200-fault campaign.
         self.svc = KernelService(
-            cache_dir=cache_dir, rng_seed=seed, retries=1,
+            cache_dir=cache_dir, seed=seed, retries=1,
             backoff_base=0.0, breaker_threshold=2, breaker_cooldown=4,
             queue_limit=16, workers=2,
         )
@@ -512,7 +512,7 @@ class _ServiceSoak:
                               "silent-wrong", "torn write did not fire")
         # Crash-safety: a fresh service over the same directory must not
         # find (let alone serve) the half-written entry.
-        fresh = KernelService(cache_dir=self.cache_dir, rng_seed=self.seed)
+        fresh = KernelService(cache_dir=self.cache_dir, seed=self.seed)
         try:
             resp2 = fresh.handle(req)
         finally:

@@ -17,17 +17,18 @@ and reports cycles plus compile-time/bytecode statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 import numpy as np
 
+from .. import obs
+from ..api import execute_phase, resolve_engine
 from ..bytecode import decode_function, encode_function
 from ..errors import ReproError
 from ..frontend import compile_source
 from ..ir import Function
 from ..jit import CompiledKernel, MonoJIT, NativeBackend, OptimizingJIT
 from ..kernels import Kernel, KernelInstance, get_kernel
-from ..machine import VM, ArrayBuffer
+from ..machine import ArrayBuffer
 from ..targets import Target, get_target
 from ..vectorizer import native_config, split_config, vectorize_function
 
@@ -80,27 +81,35 @@ class FlowRunner:
     runs the decode-per-instruction reference interpreter.  The two are
     differential-tested to be bit-identical (cycles, values, op counts), so
     every figure/table is engine-independent.
+
+    Every :meth:`run` is instrumented as the canonical span taxonomy of
+    ``docs/observability.md``: one ``flow`` root containing exactly the
+    five phase spans (``frontend`` / ``vectorize`` / ``encode`` / ``jit``
+    / ``vm``), with cache hits and skipped stages recorded as span
+    attributes rather than missing spans.  When :mod:`repro.obs` is
+    disabled the instrumentation is a handful of no-op calls.
     """
 
     def __init__(
         self,
+        *,
         base_misalign: int = 0,
         check: bool = True,
         vectorizer_overrides: dict | None = None,
         use_bytecode_roundtrip: bool = True,
         engine: str = "threaded",
     ) -> None:
-        if engine not in ("threaded", "reference"):
-            raise ValueError(f"unknown engine {engine!r}")
         self.base_misalign = base_misalign
         self.check = check
         self.vectorizer_overrides = dict(vectorizer_overrides or {})
         self.use_bytecode_roundtrip = use_bytecode_roundtrip
-        self.engine = engine
+        self.engine = resolve_engine(engine)
         self._scalar_cache: dict = {}
+        self._vec_cache: dict = {}
         self._split_cache: dict = {}
         self._native_cache: dict = {}
         self._compiled_cache: dict = {}
+        self._sizes_cache: dict = {}
 
     def config(self) -> dict:
         """Constructor kwargs reproducing this runner (minus its caches);
@@ -122,11 +131,21 @@ class FlowRunner:
             self._scalar_cache[key] = module[instance.entry]
         return self._scalar_cache[key]
 
+    def vectorized_ir(self, instance: KernelInstance) -> Function:
+        """The split-form IR straight out of the offline vectorizer
+        (before the bytecode round-trip)."""
+        key = (instance.name, instance.size)
+        if key not in self._vec_cache:
+            cfg = split_config(**self.vectorizer_overrides)
+            self._vec_cache[key] = vectorize_function(
+                self.scalar_ir(instance), cfg
+            )
+        return self._vec_cache[key]
+
     def split_ir(self, instance: KernelInstance) -> Function:
         key = (instance.name, instance.size)
         if key not in self._split_cache:
-            cfg = split_config(**self.vectorizer_overrides)
-            vec = vectorize_function(self.scalar_ir(instance), cfg)
+            vec = self.vectorized_ir(instance)
             if self.use_bytecode_roundtrip:
                 vec = decode_function(encode_function(vec))
             self._split_cache[key] = vec
@@ -145,27 +164,62 @@ class FlowRunner:
 
     def bytecode_sizes(self, instance: KernelInstance) -> tuple[int, int]:
         """(scalar, vectorized) encoded byte sizes for this kernel."""
-        return (
-            len(encode_function(self.scalar_ir(instance))),
-            len(encode_function(self.split_ir(instance))),
-        )
+        key = (instance.name, instance.size)
+        if key not in self._sizes_cache:
+            self._sizes_cache[key] = (
+                len(encode_function(self.scalar_ir(instance))),
+                len(encode_function(self.split_ir(instance))),
+            )
+        return self._sizes_cache[key]
 
     # -- online stage ----------------------------------------------------------
 
     def compiled(
         self, instance: KernelInstance, flow: str, target: Target
     ) -> CompiledKernel:
-        key = (instance.name, instance.size, flow, target.name)
-        if key not in self._compiled_cache:
-            form, jit_cls = FLOWS[flow]
+        """The offline+online phases, spanned — see the class docstring.
+
+        Each phase span is emitted even when its work is cached (attr
+        ``cached=True``) or inapplicable to this flow (``skipped=True``),
+        so one :meth:`run` always yields the same five-span shape and
+        per-phase attribution stays truthful: a warm cache shows up as a
+        near-zero-duration span, not a missing one.
+        """
+        form, jit_cls = FLOWS[flow]
+        ir_key = (instance.name, instance.size)
+        with obs.span("frontend", phase="frontend",
+                      kernel=instance.name) as sp:
+            sp.set(cached=ir_key in self._scalar_cache)
+            scalar = self.scalar_ir(instance)
+        with obs.span("vectorize", phase="vectorize", form=form) as sp:
             if form == "scalar":
-                ir = self.scalar_ir(instance)
+                sp.set(skipped=True)
+                ir = scalar
             elif form == "split":
+                sp.set(cached=ir_key in self._vec_cache)
+                ir = self.vectorized_ir(instance)
+            else:
+                sp.set(cached=(*ir_key, target.name) in self._native_cache,
+                       mode="native", target=target.name)
+                ir = self.native_ir(instance, target)
+        with obs.span("encode", phase="encode") as sp:
+            if form == "split" and self.use_bytecode_roundtrip:
+                sp.set(cached=ir_key in self._split_cache)
                 ir = self.split_ir(instance)
             else:
-                ir = self.native_ir(instance, target)
-            self._compiled_cache[key] = jit_cls().compile(ir, target)
-        return self._compiled_cache[key]
+                sp.set(skipped=True)
+        key = (instance.name, instance.size, flow, target.name)
+        with obs.span("jit", phase="jit", target=target.name,
+                      compiler=jit_cls.name) as sp:
+            ck = self._compiled_cache.get(key)
+            if ck is None:
+                ck = self._compiled_cache[key] = jit_cls().compile(ir, target)
+                sp.set(cached=False, compile_seconds=ck.compile_seconds)
+            else:
+                sp.set(cached=True)
+            if ck.degraded:
+                sp.set(degraded=True, events=[e.cause for e in ck.events])
+        return ck
 
     # -- execution ---------------------------------------------------------
 
@@ -186,12 +240,20 @@ class FlowRunner:
     ) -> FlowResult:
         if isinstance(target, str):
             target = get_target(target)
+        with obs.span("flow", phase="flow", kernel=instance.name,
+                      flow=flow, target=target.name) as root:
+            result = self._run(instance, flow, target)
+            root.set(cycles=result.cycles, checked=result.checked)
+        return result
+
+    def _run(
+        self, instance: KernelInstance, flow: str, target: Target
+    ) -> FlowResult:
         ck = self.compiled(instance, flow, target)
         bufs = self.make_buffers(instance)
-        if self.engine == "threaded":
-            result = ck.threaded().run(instance.scalar_args, bufs)
-        else:
-            result = VM(target).run(ck.mfunc, instance.scalar_args, bufs)
+        result = execute_phase(
+            ck, instance.scalar_args, bufs, engine=self.engine
+        )
         checked = False
         if self.check:
             self.verify(instance, bufs, result.value)

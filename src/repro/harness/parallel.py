@@ -47,7 +47,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-from .. import faults
+from .. import faults, obs
 from ..errors import ReproError, classify
 from ..kernels import get_kernel
 from .flows import FlowResult, FlowRunner
@@ -338,8 +338,10 @@ def run_cells(
     def charge(i, cell, attempts, kind, message):
         """Charge a failed attempt; requeue or quarantine."""
         if attempts <= retries:
+            obs.count("harness.retries")
             (isolate if isolation[0] else pending).append((i, cell, attempts))
         else:
+            obs.count("harness.quarantined")
             err = CellError(kind, message)
             results[i] = CellResult(
                 cell, None, 0.0,
@@ -352,6 +354,10 @@ def run_cells(
     def breakdown(blame_kind: str, expired_keys):
         """Pool died or a deadline passed: kill it, sort the in-flight
         cells into blamed (charged) vs innocent (free re-run)."""
+        obs.count(
+            "harness.timeouts" if blame_kind == "timeout"
+            else "harness.worker_crashes"
+        )
         mgr.kill()
         isolation[0] = True
         for fut, (i, cell, attempts, _dl) in list(inflight.items()):

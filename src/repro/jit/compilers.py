@@ -24,6 +24,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from .. import obs
+from .._compat import warn_once
 from ..ir import Function, clone_function
 from ..machine import (
     FlattenOptions,
@@ -33,6 +35,7 @@ from ..machine import (
     flatten,
 )
 from ..passes import eliminate_dead_code, optimize
+from ..targets import get_target
 from ..targets.base import Target
 from .materialize import (
     DegradationEvent,
@@ -91,7 +94,7 @@ class _BaseCompiler:
     opt_level = 2
     local_regalloc = False
 
-    def __init__(self, runtime_aligns: bool = True,
+    def __init__(self, *, runtime_aligns: bool = True,
                  scalar_via_loop_bound: bool = True) -> None:
         self.runtime_aligns = runtime_aligns
         self.scalar_via_loop_bound = scalar_via_loop_bound
@@ -105,9 +108,15 @@ class _BaseCompiler:
         )
 
     def compile(
-        self, fn: Function, target: Target, force_scalar: bool = False
+        self, fn: Function, target: Target | str, *args,
+        force_scalar: bool = False,
     ) -> CompiledKernel:
         """Compile IR (scalar or vectorized bytecode) to machine code.
+
+        ``target`` accepts a :class:`Target` or its canonical name (the
+        one-coercion-everywhere API convention); ``force_scalar`` is
+        keyword-only (passing it positionally is deprecated and warns
+        once).
 
         Fail-soft: a whole-function :class:`MaterializeError` on the first
         (vector) attempt triggers one retry with every loop group forced
@@ -119,6 +128,20 @@ class _BaseCompiler:
         degradation cascade of :class:`repro.service.KernelService` uses
         this as its always-lowerable fallback compilation.
         """
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    f"compile() takes at most 3 positional arguments "
+                    f"({2 + len(args)} given)"
+                )
+            warn_once(
+                "compile(fn, target, force_scalar) with positional "
+                "force_scalar",
+                "the keyword form compile(fn, target, force_scalar=...)",
+            )
+            force_scalar = bool(args[0])
+        if isinstance(target, str):
+            target = get_target(target)
         start = time.perf_counter()
         try:
             work = clone_function(fn)
@@ -174,6 +197,14 @@ class _BaseCompiler:
                 "degraded_groups": len(events),
             }
         )
+        # Feed the observability spine (no-ops when obs is disabled).
+        obs.count("jit.compiles")
+        obs.count("jit.loops_vectorized", stats.get("loops_vectorized", 0))
+        obs.count("jit.loops_scalarized", stats.get("loops_scalarized", 0))
+        obs.count("jit.degradation_events", len(events))
+        if events:
+            obs.count("jit.degraded_compiles")
+        obs.observe("jit.compile_seconds", elapsed)
         return CompiledKernel(
             mfunc, target, self.name, elapsed, stats, ir=work,
             degraded=bool(events), events=events,

@@ -1,0 +1,174 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+One registry serves the whole toolchain; every layer feeds it through
+the guarded module-level helpers (:func:`repro.obs.count`,
+:func:`repro.obs.observe`, :func:`repro.obs.gauge`), which cost one
+global ``None`` check when metrics are disabled.  The catalogue of
+metric names is documented in ``docs/observability.md``; by convention
+names are dotted ``layer.metric`` (``vm.cycles``, ``cache.hits``,
+``harness.retries``, ...).
+
+Histograms use *fixed* bucket boundaries (chosen at creation, default
+decade/half-decade boundaries suited to seconds) so snapshots from
+different processes/runs are mergeable by simple addition — the property
+Prometheus-style histograms are built around.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram boundaries (seconds-flavoured): 100µs .. 10s.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing sum (floats allowed: cycle totals)."""
+
+    __slots__ = ("name", "value", "_lock")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (queue depth, cache bytes, breaker state)."""
+
+    __slots__ = ("name", "value", "_lock")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+        self._lock = threading.Lock()
+
+    def set(self, v: float) -> None:
+        with self._lock:
+            self.value = v
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def dec(self, n: float = 1) -> None:
+        self.inc(-n)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum/min/max.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final slot
+    is the +Inf overflow bucket, so ``len(counts) == len(bounds) + 1``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max",
+                 "_lock")
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds=DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(float(b) for b in bounds))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        i = 0
+        for i, b in enumerate(self.bounds):  # noqa: B007 - small, fixed
+            if v <= b:
+                break
+        else:
+            i = len(self.bounds)
+        with self._lock:
+            self.counts[i] += 1
+            self.count += 1
+            self.sum += v
+            self.min = v if self.min is None else min(self.min, v)
+            self.max = v if self.max is None else max(self.max, v)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+
+class MetricsRegistry:
+    """Name -> metric map with get-or-create accessors.
+
+    Creating the same name with a different kind raises — a metric name
+    means one thing everywhere (catalogue discipline).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = self._metrics[name] = cls(name, *args)
+            elif not isinstance(m, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(m).__name__}, requested {cls.__name__}"
+                )
+            return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, bounds=DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def snapshot(self) -> dict:
+        """Deterministic (name-sorted) dump of every metric."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: m.to_dict() for name, m in items}
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+
+    def write_json(self, path: str) -> None:
+        from ..service.cache import atomic_write
+
+        atomic_write(path, self.to_json().encode())

@@ -1,0 +1,182 @@
+"""Render a recorded JSONL trace as a phase-attributed tree.
+
+Powers ``repro trace t.jsonl``: rebuilds the span tree from the flat
+JSONL export, prints it with wall-time per span and interesting
+attributes inline, then a per-phase rollup (wall time, share, span
+count) and the VM-cycle total — the Figure 5/6 "where did the cycles
+go" view for a single run.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["TraceFormatError", "load_trace", "render_trace", "phase_rollup"]
+
+#: attributes worth showing inline, in display order.
+_INLINE_ATTRS = (
+    "kernel", "flow", "target", "engine", "compiler", "function", "status",
+    "cycles", "instructions", "cached", "skipped", "from_cache", "degraded",
+    "events", "error",
+)
+
+
+class TraceFormatError(ValueError):
+    """A line of the trace file is not a valid span record."""
+
+
+def load_trace(lines) -> list[dict]:
+    """Parse JSONL span records from an iterable of lines.
+
+    Blank lines are skipped; anything unparsable raises
+    :class:`TraceFormatError` with the offending line number.
+    """
+    records: list[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"line {lineno}: not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(rec, dict) or "span_id" not in rec:
+            raise TraceFormatError(
+                f"line {lineno}: not a span record (missing span_id)"
+            )
+        records.append(rec)
+    return records
+
+
+def _fmt_ms(seconds) -> str:
+    if seconds is None:
+        return "?"
+    ms = float(seconds) * 1e3
+    if ms >= 100:
+        return f"{ms:.0f}ms"
+    if ms >= 1:
+        return f"{ms:.2f}ms"
+    return f"{ms * 1e3:.0f}µs"
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    parts = []
+    for key in _INLINE_ATTRS:
+        if key in attrs:
+            v = attrs[key]
+            if isinstance(v, float):
+                v = f"{v:g}"
+            parts.append(f"{key}={v}")
+    extra = sum(1 for k in attrs if k not in _INLINE_ATTRS)
+    if extra:
+        parts.append(f"+{extra} attr(s)")
+    return " ".join(parts)
+
+
+def phase_rollup(records: list[dict]) -> dict:
+    """Aggregate wall time / span counts per phase plus VM-cycle totals.
+
+    Wall-time shares are computed against the *root* spans' total (the
+    only denominator that is not double counted), and the five pipeline
+    phases are always present in the result (zeroed when absent) so the
+    rollup shape is stable for tooling.
+    """
+    from .trace import PHASES
+
+    phases: dict[str, dict] = {
+        p: {"spans": 0, "wall_s": 0.0} for p in PHASES
+    }
+    root_wall = 0.0
+    vm_cycles = 0.0
+    vm_instructions = 0
+    for rec in records:
+        phase = rec.get("phase") or "?"
+        dur = rec.get("dur_s") or 0.0
+        slot = phases.setdefault(phase, {"spans": 0, "wall_s": 0.0})
+        slot["spans"] += 1
+        slot["wall_s"] += dur
+        if rec.get("parent_id") is None:
+            root_wall += dur
+        if phase == "vm":
+            attrs = rec.get("attrs") or {}
+            vm_cycles += float(attrs.get("cycles") or 0.0)
+            vm_instructions += int(attrs.get("instructions") or 0)
+    return {
+        "phases": phases,
+        "root_wall_s": root_wall,
+        "vm_cycles": vm_cycles,
+        "vm_instructions": vm_instructions,
+    }
+
+
+def render_trace(records: list[dict], phase: str | None = None) -> str:
+    """The ``repro trace`` body: tree + rollup, as one printable string."""
+    by_id = {rec["span_id"]: rec for rec in records}
+    children: dict[object, list[dict]] = {}
+    roots: list[dict] = []
+    for rec in records:
+        parent = rec.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(rec)
+        else:
+            roots.append(rec)
+    for kids in children.values():
+        kids.sort(key=lambda r: r["span_id"])
+    roots.sort(key=lambda r: r["span_id"])
+
+    lines: list[str] = []
+
+    def visible(rec) -> bool:
+        if phase is None:
+            return True
+        if rec.get("phase") == phase:
+            return True
+        return any(visible(k) for k in children.get(rec["span_id"], ()))
+
+    def emit(rec, prefix: str, is_last: bool, is_root: bool) -> None:
+        if not visible(rec):
+            return
+        connector = "" if is_root else ("└─ " if is_last
+                                        else "├─ ")
+        head = f"{prefix}{connector}{rec.get('name', '?')}"
+        label = f"[{rec.get('phase', '?')}]"
+        attrs = _fmt_attrs(rec.get("attrs") or {})
+        lines.append(
+            f"{head:<40s} {label:<11s} {_fmt_ms(rec.get('dur_s')):>9s}"
+            + (f"  {attrs}" if attrs else "")
+        )
+        kids = [k for k in children.get(rec["span_id"], ()) if visible(k)]
+        child_prefix = prefix if is_root else (
+            prefix + ("   " if is_last else "│  ")
+        )
+        for i, kid in enumerate(kids):
+            emit(kid, child_prefix, i == len(kids) - 1, False)
+
+    for i, root in enumerate(roots):
+        emit(root, "", True, True)
+        if i != len(roots) - 1:
+            lines.append("")
+
+    roll = phase_rollup(records)
+    lines.append("")
+    lines.append("== phase rollup ==")
+    lines.append(f"{'phase':<12s} {'spans':>6s} {'wall':>10s} {'share':>7s}")
+    denom = roll["root_wall_s"] or 1.0
+    for name, slot in sorted(roll["phases"].items()):
+        if slot["spans"] == 0 and phase is not None and name != phase:
+            continue
+        share = slot["wall_s"] / denom
+        lines.append(
+            f"{name:<12s} {slot['spans']:>6d} "
+            f"{_fmt_ms(slot['wall_s']):>10s} {share:>6.1%}"
+        )
+    lines.append(
+        f"roots: {len(roots)} span(s), wall {_fmt_ms(roll['root_wall_s'])}"
+    )
+    lines.append(
+        f"vm: {roll['vm_cycles']:.0f} cycle(s), "
+        f"{roll['vm_instructions']} instruction(s)"
+    )
+    return "\n".join(lines)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 import time
 
+from .. import obs
 from ..errors import ReproError
 
 __all__ = ["AdmissionQueue", "Deadline", "DeadlineError", "OverloadError"]
@@ -109,16 +110,20 @@ class AdmissionQueue:
         def __exit__(self, *exc):
             with self.queue._lock:
                 self.queue.depth -= 1
+                obs.gauge("admission.depth", self.queue.depth)
             return False
 
     def admit(self) -> "AdmissionQueue._Slot":
         with self._lock:
             if self.depth >= self.limit:
                 self.shed += 1
+                obs.count("admission.shed")
                 raise OverloadError(self.depth, self.limit)
             self.depth += 1
             self.admitted += 1
             self.peak_depth = max(self.peak_depth, self.depth)
+            obs.count("admission.admitted")
+            obs.gauge("admission.depth", self.depth)
         return self._Slot(self)
 
     def stats(self) -> dict:

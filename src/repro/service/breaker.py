@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import threading
 
+from .. import obs
 from ..errors import ReproError
 
 __all__ = ["CircuitBreaker", "CircuitOpenError", "CLOSED", "OPEN", "HALF_OPEN"]
@@ -87,6 +88,7 @@ class CircuitBreaker:
             if self.state == OPEN:
                 self._denied_since_open += 1
                 self.short_circuits += 1
+                obs.count("breaker.short_circuits")
                 if self._denied_since_open >= self.cooldown:
                     self.state = HALF_OPEN
                     self._probe_inflight = False
@@ -94,9 +96,11 @@ class CircuitBreaker:
             # HALF_OPEN: admit exactly one probe at a time.
             if self._probe_inflight:
                 self.short_circuits += 1
+                obs.count("breaker.short_circuits")
                 return False
             self._probe_inflight = True
             self.probes += 1
+            obs.count("breaker.probes")
             return True
 
     def record_success(self) -> None:
@@ -112,6 +116,7 @@ class CircuitBreaker:
                 # Failed probe: back to open, restart the cooldown.
                 self.state = OPEN
                 self.opens += 1
+                obs.count("breaker.opened")
                 self._denied_since_open = 0
                 self._probe_inflight = False
                 return
@@ -122,6 +127,7 @@ class CircuitBreaker:
             ):
                 self.state = OPEN
                 self.opens += 1
+                obs.count("breaker.opened")
                 self._denied_since_open = 0
 
     def snapshot(self) -> dict:

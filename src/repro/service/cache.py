@@ -38,7 +38,7 @@ import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from .. import faults
+from .. import faults, obs
 from ..errors import ReproError
 
 __all__ = [
@@ -274,6 +274,7 @@ class KernelCache:
                 pass
         self.quarantined += 1
         self._index.pop(name, None)
+        obs.count("cache.quarantined")
 
     def _evict_over_budget(self) -> None:
         while self._index and self.total_bytes() > self.byte_budget:
@@ -283,6 +284,7 @@ class KernelCache:
             except OSError:
                 pass
             self.evictions += 1
+            obs.count("cache.evictions")
 
     def total_bytes(self) -> int:
         return sum(self._index.values())
@@ -310,9 +312,11 @@ class KernelCache:
                     data = f.read()
             except FileNotFoundError:
                 self.misses += 1
+                obs.count("cache.misses")
                 return None
             except OSError as exc:
                 self.misses += 1
+                obs.count("cache.misses")
                 self._quarantine(name, f"io: {exc}")
                 return None
             try:
@@ -329,10 +333,12 @@ class KernelCache:
                 )
             except CacheError as exc:
                 self.misses += 1
+                obs.count("cache.misses")
                 self._quarantine(name, exc.kind)
                 return None
             except Exception as exc:  # unpicklable / malformed payload
                 self.misses += 1
+                obs.count("cache.misses")
                 self._quarantine(name, f"bad-payload: {exc}")
                 return None
             # LRU touch.
@@ -343,6 +349,7 @@ class KernelCache:
             except OSError:
                 pass
             self.hits += 1
+            obs.count("cache.hits")
             return ck
 
     def put(self, key: CacheKey, ck) -> bool:
@@ -371,13 +378,17 @@ class KernelCache:
                 atomic_write(os.path.join(self.root, name), data)
             except CacheError:
                 self.put_failures += 1
+                obs.count("cache.put_failures")
                 return False
             except OSError:
                 self.put_failures += 1
+                obs.count("cache.put_failures")
                 return False
             self._index.pop(name, None)
             self._index[name] = len(data)
             self._evict_over_budget()
+            obs.count("cache.puts")
+            obs.gauge("cache.bytes", self.total_bytes())
         return True
 
     def evict(self, key: CacheKey) -> bool:
@@ -393,6 +404,7 @@ class KernelCache:
             except OSError:
                 return False
             self.evictions += 1
+            obs.count("cache.evictions")
             return True
 
     def stats(self) -> dict:

@@ -44,6 +44,9 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
+from .. import obs
+from .._compat import warn_once
+from ..api import execute_phase
 from ..errors import classify
 from ..harness.flows import FLOWS, FlowResult, FlowRunner
 from ..harness.parallel import backoff_delay, run_cells
@@ -98,6 +101,10 @@ class ServiceResponse:
     events: list = field(default_factory=list)
     from_cache: bool = False
     attempts: int = 1
+    #: id of the ``service.request`` trace span that produced this
+    #: response (None when tracing is disabled) — lets log processors
+    #: join responses to their span trees in the JSONL export.
+    span_id: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -129,9 +136,15 @@ class KernelService:
         futures = [svc.submit(r) for r in requests]   # sheds when full
         responses = [f.result() for f in futures]
 
-    All configuration knobs are constructor arguments; ``rng_seed`` makes
-    retry jitter deterministic for seeded campaigns.  The service is a
-    context manager (``close()`` drains the worker pool).
+    All configuration knobs are keyword-only constructor arguments;
+    ``seed`` makes retry jitter deterministic for seeded campaigns
+    (``rng_seed`` is the deprecated spelling and warns once).  The
+    service is a context manager (``close()`` drains the worker pool).
+
+    Every request is traced as one ``service.request`` span (phase
+    ``service``) whose attributes record the final status, cache hit,
+    attempt count, breaker state, and degradation-event causes; the
+    span's id is echoed on :attr:`ServiceResponse.span_id`.
     """
 
     #: cascade step names, in order (documented in docs/service.md).
@@ -139,6 +152,7 @@ class KernelService:
 
     def __init__(
         self,
+        *,
         cache_dir: str | None = None,
         cache_budget: int = 8 << 20,
         queue_limit: int = 32,
@@ -149,8 +163,13 @@ class KernelService:
         breaker_cooldown: int = 6,
         engine: str = "threaded",
         check: bool = True,
-        rng_seed: int = 0,
+        seed: int = 0,
+        rng_seed: int | None = None,
     ) -> None:
+        if rng_seed is not None:
+            warn_once("KernelService(rng_seed=...)",
+                      "KernelService(seed=...)")
+            seed = rng_seed
         self.runner = FlowRunner(engine=engine, check=check)
         self.cache = (
             KernelCache(cache_dir, cache_budget)
@@ -165,7 +184,7 @@ class KernelService:
         self._breakers: dict[str, CircuitBreaker] = {}
         self._stale: dict[tuple, FlowResult] = {}
         self._instances: dict[tuple, object] = {}
-        self._rng = random.Random(rng_seed)
+        self._rng = random.Random(seed)
         self._lock = threading.RLock()  # IR caches, counters, breakers
         self._pool = ThreadPoolExecutor(
             max_workers=int(workers), thread_name_prefix="repro-service"
@@ -301,10 +320,17 @@ class KernelService:
     def _bump(self, key: str, n: int = 1) -> None:
         with self._lock:
             self._counts[key] += n
+        obs.count(f"service.{key}", n)
 
     def _shed_response(self, request, exc) -> ServiceResponse:
         self._bump("shed")
-        return ServiceResponse(request, "shed", error=classify(exc))
+        resp = ServiceResponse(request, "shed", error=classify(exc))
+        with obs.span("service.request", phase="service",
+                      kernel=request.kernel, flow=request.flow,
+                      target=request.target) as sp:
+            sp.set(status="shed", error=resp.error)
+            resp.span_id = getattr(sp, "span_id", None)
+        return resp
 
     def _breaker(self, target: str) -> CircuitBreaker:
         with self._lock:
@@ -327,19 +353,39 @@ class KernelService:
 
     def _guarded_serve(self, request: ServiceRequest) -> ServiceResponse:
         """The no-traceback guarantee: anything the pipeline (or a bug in
-        the service itself) throws becomes a classified rejection."""
-        try:
-            return self._serve(request)
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except Exception as exc:  # pragma: no cover - defensive last line
-            self._bump("internal_errors")
-            self._bump("rejected")
-            return ServiceResponse(
-                request, "rejected", error=classify(exc),
-                events=[_event(request.kernel, request.target,
-                               "internal-error", f"{classify(exc)}: {exc}")],
-            )
+        the service itself) throws becomes a classified rejection.
+
+        Every pass through here is one ``service.request`` span; the
+        compile/execute child spans (``jit`` / ``vm``) nest under it.
+        """
+        with obs.span("service.request", phase="service",
+                      kernel=request.kernel, flow=request.flow,
+                      target=request.target) as sp:
+            try:
+                resp = self._serve(request)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # pragma: no cover - defensive
+                self._bump("internal_errors")
+                self._bump("rejected")
+                resp = ServiceResponse(
+                    request, "rejected", error=classify(exc),
+                    events=[_event(request.kernel, request.target,
+                                   "internal-error",
+                                   f"{classify(exc)}: {exc}")],
+                )
+            sp.set(status=resp.status, from_cache=resp.from_cache,
+                   attempts=resp.attempts)
+            with self._lock:
+                breaker = self._breakers.get(request.target)
+            if breaker is not None:
+                sp.set(breaker=breaker.state)
+            if resp.error:
+                sp.set(error=resp.error)
+            if resp.events:
+                sp.set(events=[e.cause for e in resp.events])
+            resp.span_id = getattr(sp, "span_id", None)
+        return resp
 
     def _serve(self, request: ServiceRequest) -> ServiceResponse:
         deadline = Deadline(request.deadline_s)
@@ -498,12 +544,22 @@ class KernelService:
         key, ir, jit_cls = self._cache_key_ir(
             inst, flow, target, force_scalar
         )
-        if self.cache is not None:
-            ck = self.cache.get(key)
-            if ck is not None:
-                return ck, True
-        with self._lock:
-            ck = jit_cls().compile(ir, target, force_scalar=force_scalar)
+        with obs.span("jit", phase="jit", target=target.name,
+                      compiler=jit_cls.name,
+                      force_scalar=force_scalar) as sp:
+            if self.cache is not None:
+                ck = self.cache.get(key)
+                if ck is not None:
+                    sp.set(cached=True)
+                    return ck, True
+            with self._lock:
+                ck = jit_cls().compile(
+                    ir, target, force_scalar=force_scalar
+                )
+            sp.set(cached=False, compile_seconds=ck.compile_seconds)
+            if ck.degraded:
+                sp.set(degraded=True,
+                       events=[e.cause for e in ck.events])
         if self.cache is not None and not self._tainted(ck):
             # A failed write (ENOSPC, injected torn write) only loses the
             # cache benefit; the freshly compiled kernel is still served.
@@ -532,12 +588,9 @@ class KernelService:
         """Run a compiled kernel exactly like FlowRunner.run would, so a
         warm-cache service response is byte-identical to a cold run."""
         bufs = self.runner.make_buffers(inst)
-        if self.runner.engine == "threaded":
-            vm_result = ck.threaded().run(inst.scalar_args, bufs)
-        else:
-            from ..machine import VM
-
-            vm_result = VM(target).run(ck.mfunc, inst.scalar_args, bufs)
+        vm_result = execute_phase(
+            ck, inst.scalar_args, bufs, engine=self.runner.engine
+        )
         checked = False
         if self.runner.check:
             self.runner.verify(inst, bufs, vm_result.value)

@@ -173,3 +173,58 @@ class TestChaosProfile:
         assert payload["ok"] is True
         assert payload["profile"] == "service"
         assert payload["service"]["requests"] > 0
+
+
+class TestTrace:
+    """`--trace-out` + `repro trace` — the observability round-trip."""
+
+    def test_compile_trace_roundtrip_covers_five_phases(self, tmp_path):
+        src = tmp_path / "demo.c"
+        src.write_text(DEMO)
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        result = _cli("compile", str(src), "-o", str(tmp_path / "demo.vbc"),
+                      "--trace-out", str(trace),
+                      "--metrics-out", str(metrics))
+        assert result.returncode == 0, result.stderr
+        assert "trace written to" in result.stdout
+        assert trace.exists() and metrics.exists()
+
+        rendered = _cli("trace", str(trace))
+        assert rendered.returncode == 0, rendered.stderr
+        for phase in ("frontend", "vectorize", "encode", "jit", "vm"):
+            assert f"[{phase}]" in rendered.stdout
+        assert "phase rollup" in rendered.stdout
+        assert "cycle(s)" in rendered.stdout  # VM-cycle rollup present
+
+        import json
+
+        payload = json.loads(metrics.read_text())
+        assert payload["jit.compiles"]["value"] >= 1
+        assert payload["vm.runs"]["value"] >= 1
+
+    def test_run_trace_out(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        result = _cli("run", "saxpy_fp", "--trace-out", str(trace))
+        assert result.returncode == 0, result.stderr
+        rendered = _cli("trace", str(trace))
+        assert rendered.returncode == 0
+        assert "flow" in rendered.stdout and "[vm]" in rendered.stdout
+
+    def test_serve_trace_carries_request_spans(self, tmp_path):
+        trace = tmp_path / "serve.jsonl"
+        result = _cli("serve", "--requests", "4", "--trace-out", str(trace))
+        assert result.returncode == 0, result.stderr
+        rendered = _cli("trace", str(trace), "--phase", "service")
+        assert rendered.returncode == 0
+        assert rendered.stdout.count("service.request") == 4
+
+    def test_trace_rejects_missing_and_garbage(self, tmp_path):
+        missing = _cli("trace", str(tmp_path / "nope.jsonl"))
+        assert missing.returncode == 2
+        assert "cannot read" in missing.stderr
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        garbage = _cli("trace", str(bad))
+        assert garbage.returncode == 2
+        assert "line 1" in garbage.stderr

@@ -44,7 +44,7 @@ FLOW = "split_vec_gcc4cli"
 
 @pytest.fixture()
 def svc(tmp_path):
-    service = KernelService(cache_dir=str(tmp_path / "cache"), rng_seed=0,
+    service = KernelService(cache_dir=str(tmp_path / "cache"), seed=0,
                             backoff_base=0.0)
     yield service
     service.close()
