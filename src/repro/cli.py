@@ -383,6 +383,9 @@ def _cmd_serve(args) -> int:
         print(f"cache: {warm} warm hit(s), "
               f"{stats['cache']['entries']} entr(ies), "
               f"hit_ratio={stats['cache']['hit_ratio']:.2f}")
+        sf = stats["singleflight"]
+        print(f"singleflight: {sf['leaders']} leader(s), "
+              f"{sf['followers']} coalesced follower(s)")
         print(f"health: {health['status']} "
               f"(queue {health['queue_depth']}/{health['queue_limit']}, "
               f"breakers: "
@@ -525,8 +528,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir",
                    help="persistent kernel-cache directory (default: "
                    "in-process temporary cache)")
-    p.add_argument("-j", "--jobs", type=int, default=4,
-                   help="service worker threads")
+    p.add_argument("-j", "--jobs", "--workers", type=int, default=4,
+                   dest="jobs",
+                   help="service worker threads (--workers is an alias)")
     p.add_argument("--queue-limit", type=int, default=32,
                    help="admission-queue bound (requests beyond it shed)")
     p.add_argument("--stats-out",

@@ -10,7 +10,7 @@ are deterministic:
 ::
 
     CLOSED --(failure_threshold consecutive failures)--> OPEN
-    OPEN   --(cooldown short-circuited requests)-------> HALF-OPEN
+    OPEN   --(cooldown-th request)---------------------> HALF-OPEN
     HALF-OPEN --probe succeeds--> CLOSED
     HALF-OPEN --probe fails----> OPEN (cooldown restarts)
 
@@ -18,10 +18,17 @@ are deterministic:
   any success resets the count.
 * **open** — :meth:`CircuitBreaker.allow` returns False: the service
   skips the primary attempt entirely and routes the request straight
-  into the degradation cascade.  After ``cooldown`` such short-circuits
-  the breaker arms a probe.
+  into the degradation cascade.  The request that *crosses* ``cooldown``
+  flips the breaker HALF-OPEN and is itself admitted as the probe — so
+  exactly ``cooldown - 1`` requests are short-circuited per open cycle,
+  not ``cooldown`` (sparse traffic used to need one extra request before
+  any probe ran).
 * **half-open** — exactly one request is allowed through as a probe; its
-  outcome decides the next state.
+  outcome decides the next state.  A probe whose request *evaporates*
+  without reaching the target (deadline expiry before the attempt
+  starts) must call :meth:`CircuitBreaker.release_probe` so the probe
+  slot frees without charging target health — otherwise the breaker
+  wedges half-open forever.
 
 The breaker never *raises* by itself — :class:`CircuitOpenError` exists
 so the service can classify a response that was short-circuited and then
@@ -87,11 +94,18 @@ class CircuitBreaker:
                 return True
             if self.state == OPEN:
                 self._denied_since_open += 1
+                if self._denied_since_open >= self.cooldown:
+                    # Crossing the cooldown arms *and performs* the
+                    # probe: this very request is admitted, so sparse
+                    # traffic needs cooldown requests to probe, not
+                    # cooldown + 1.
+                    self.state = HALF_OPEN
+                    self._probe_inflight = True
+                    self.probes += 1
+                    obs.count("breaker.probes")
+                    return True
                 self.short_circuits += 1
                 obs.count("breaker.short_circuits")
-                if self._denied_since_open >= self.cooldown:
-                    self.state = HALF_OPEN
-                    self._probe_inflight = False
                 return False
             # HALF_OPEN: admit exactly one probe at a time.
             if self._probe_inflight:
@@ -102,6 +116,20 @@ class CircuitBreaker:
             self.probes += 1
             obs.count("breaker.probes")
             return True
+
+    def release_probe(self) -> None:
+        """Free the probe slot without judging the target.
+
+        For probes whose request never actually exercised the target —
+        e.g. a per-request deadline expired before the attempt started.
+        Expiry is load, not target health, so neither
+        :meth:`record_success` nor :meth:`record_failure` applies; but
+        the slot *must* be released or the breaker wedges: every later
+        HALF-OPEN ``allow()`` would see ``_probe_inflight`` and
+        short-circuit forever.
+        """
+        with self._lock:
+            self._probe_inflight = False
 
     def record_success(self) -> None:
         with self._lock:

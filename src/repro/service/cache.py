@@ -34,6 +34,8 @@ import re
 import struct
 import tempfile
 import threading
+import time
+import uuid
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -223,8 +225,16 @@ class KernelCache:
     (after quarantining the bad entry).  ``put`` serializes the kernel and
     writes it atomically, then evicts LRU entries past ``byte_budget``.
 
-    Thread-safe: a single lock guards the index; file writes are atomic
-    renames so concurrent readers never see torn entries.
+    Thread-safe with **scoped locking**: the index lock guards only index
+    mutation and counters.  Disk I/O — entry reads, unpickling,
+    ``atomic_write``, eviction unlinks — happens *outside* the lock, so
+    concurrent gets/puts for distinct keys overlap instead of
+    serializing behind one reader's disk + unpickle time.  Atomic
+    renames mean concurrent readers never see torn entries regardless.
+
+    The byte budget is enforced against a **running total**
+    (``_bytes``), updated on every insert/evict/quarantine — eviction is
+    O(evicted), not the old O(n²) recompute-the-sum-per-eviction.
     """
 
     def __init__(self, root: str, byte_budget: int = 8 << 20) -> None:
@@ -232,9 +242,11 @@ class KernelCache:
         self.byte_budget = int(byte_budget)
         self.quarantine_dir = os.path.join(self.root, "quarantine")
         os.makedirs(self.root, exist_ok=True)
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # index + counters ONLY — no I/O
         #: filename -> size, in LRU order (oldest first).
         self._index: OrderedDict[str, int] = OrderedDict()
+        #: running sum of ``_index.values()`` (kept exact under _lock).
+        self._bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -254,17 +266,25 @@ class KernelCache:
             st = os.stat(path)
             entries.append((st.st_mtime_ns, name, st.st_size))
         self._index.clear()
+        self._bytes = 0
         for _mt, name, size in sorted(entries):
             self._index[name] = size
+            self._bytes += size
 
     def _quarantine(self, name: str, reason: str) -> None:
         """Move a bad entry aside — it must never be served again, but the
-        evidence is kept for post-mortems."""
+        evidence is kept for post-mortems.
+
+        Evidence names are suffixed with a monotonic timestamp plus a
+        random tag, *not* the in-process ``quarantined`` counter: the
+        counter resets on every restart, so two services (or one service
+        restarted) quarantining the same entry name would silently
+        ``os.replace`` the earlier evidence away.
+        """
         os.makedirs(self.quarantine_dir, exist_ok=True)
         src = os.path.join(self.root, name)
-        dst = os.path.join(
-            self.quarantine_dir, f"{name}.{self.quarantined}.bad"
-        )
+        tag = f"{time.monotonic_ns():016x}-{uuid.uuid4().hex[:8]}"
+        dst = os.path.join(self.quarantine_dir, f"{name}.{tag}.bad")
         try:
             os.replace(src, dst)
         except OSError:
@@ -272,27 +292,56 @@ class KernelCache:
                 os.unlink(src)
             except OSError:
                 pass
-        self.quarantined += 1
-        self._index.pop(name, None)
+        with self._lock:
+            self.quarantined += 1
+            self._drop_index(name)
         obs.count("cache.quarantined")
 
-    def _evict_over_budget(self) -> None:
-        while self._index and self.total_bytes() > self.byte_budget:
-            name, _size = self._index.popitem(last=False)
+    def _drop_index(self, name: str) -> int | None:
+        """Remove ``name`` from the index, keeping ``_bytes`` exact.
+
+        Caller must hold ``_lock``.  Returns the dropped size, or None.
+        """
+        size = self._index.pop(name, None)
+        if size is not None:
+            self._bytes -= size
+        return size
+
+    def _evict_over_budget(self) -> list[str]:
+        """Pop LRU names until the running total fits the budget.
+
+        Caller must hold ``_lock``.  Returns the evicted filenames; the
+        caller unlinks them *after* releasing the lock (index mutation
+        is locked, disk I/O is not).
+        """
+        evicted: list[str] = []
+        while self._index and self._bytes > self.byte_budget:
+            name, size = self._index.popitem(last=False)
+            self._bytes -= size
+            self.evictions += 1
+            evicted.append(name)
+        return evicted
+
+    def _unlink_evicted(self, names: list[str]) -> None:
+        for name in names:
             try:
                 os.unlink(os.path.join(self.root, name))
             except OSError:
                 pass
-            self.evictions += 1
             obs.count("cache.evictions")
 
     def total_bytes(self) -> int:
-        return sum(self._index.values())
+        return self._bytes
 
     def __len__(self) -> int:
         return len(self._index)
 
     # -- lookup / insert ------------------------------------------------------
+
+    def _miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+        obs.count("cache.misses")
 
     def get(self, key: CacheKey):
         """The cached :class:`CompiledKernel` for ``key``, or None.
@@ -300,57 +349,60 @@ class KernelCache:
         Corrupt entries are quarantined and reported as misses — the
         caller recompiles and ``put`` overwrites, which is the
         self-healing loop.
+
+        The read and the unpickle happen *outside* the index lock (the
+        entry file is immutable once renamed into place; a concurrent
+        ``put`` atomically replaces it, so this reader sees the old
+        bytes or the new bytes, never a mix) — only the LRU touch takes
+        the lock.
         """
         from ..jit.compilers import CompiledKernel
         from ..targets import get_target
 
         name = key.filename()
         path = os.path.join(self.root, name)
+        try:
+            with open(path, "rb") as f:
+                data = f.read()
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except OSError as exc:
+            self._miss()
+            self._quarantine(name, f"io: {exc}")
+            return None
+        try:
+            payload = _unpack_entry(data)
+            rec = pickle.loads(payload)
+            ck = CompiledKernel(
+                mfunc=rec["mfunc"],
+                target=get_target(rec["target"]),
+                compiler=rec["compiler"],
+                compile_seconds=rec["compile_seconds"],
+                stats=dict(rec["stats"]),
+                degraded=rec["degraded"],
+                events=list(rec["events"]),
+            )
+        except CacheError as exc:
+            self._miss()
+            self._quarantine(name, exc.kind)
+            return None
+        except Exception as exc:  # unpicklable / malformed payload
+            self._miss()
+            self._quarantine(name, f"bad-payload: {exc}")
+            return None
         with self._lock:
-            try:
-                with open(path, "rb") as f:
-                    data = f.read()
-            except FileNotFoundError:
-                self.misses += 1
-                obs.count("cache.misses")
-                return None
-            except OSError as exc:
-                self.misses += 1
-                obs.count("cache.misses")
-                self._quarantine(name, f"io: {exc}")
-                return None
-            try:
-                payload = _unpack_entry(data)
-                rec = pickle.loads(payload)
-                ck = CompiledKernel(
-                    mfunc=rec["mfunc"],
-                    target=get_target(rec["target"]),
-                    compiler=rec["compiler"],
-                    compile_seconds=rec["compile_seconds"],
-                    stats=dict(rec["stats"]),
-                    degraded=rec["degraded"],
-                    events=list(rec["events"]),
-                )
-            except CacheError as exc:
-                self.misses += 1
-                obs.count("cache.misses")
-                self._quarantine(name, exc.kind)
-                return None
-            except Exception as exc:  # unpicklable / malformed payload
-                self.misses += 1
-                obs.count("cache.misses")
-                self._quarantine(name, f"bad-payload: {exc}")
-                return None
-            # LRU touch.
-            self._index.pop(name, None)
+            # LRU touch (index mutation only).
+            self._drop_index(name)
             self._index[name] = len(data)
-            try:
-                os.utime(path)
-            except OSError:
-                pass
+            self._bytes += len(data)
             self.hits += 1
-            obs.count("cache.hits")
-            return ck
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        obs.count("cache.hits")
+        return ck
 
     def put(self, key: CacheKey, ck) -> bool:
         """Persist ``ck`` under ``key`` atomically; True on success.
@@ -373,22 +425,24 @@ class KernelCache:
         )
         data = _pack_entry(payload)
         name = key.filename()
+        try:
+            # Disk I/O outside the lock: the write is an atomic rename,
+            # so concurrent readers of the same name are already safe.
+            atomic_write(os.path.join(self.root, name), data)
+        except (CacheError, OSError):
+            with self._lock:
+                self.put_failures += 1
+            obs.count("cache.put_failures")
+            return False
         with self._lock:
-            try:
-                atomic_write(os.path.join(self.root, name), data)
-            except CacheError:
-                self.put_failures += 1
-                obs.count("cache.put_failures")
-                return False
-            except OSError:
-                self.put_failures += 1
-                obs.count("cache.put_failures")
-                return False
-            self._index.pop(name, None)
+            self._drop_index(name)
             self._index[name] = len(data)
-            self._evict_over_budget()
-            obs.count("cache.puts")
-            obs.gauge("cache.bytes", self.total_bytes())
+            self._bytes += len(data)
+            evicted = self._evict_over_budget()
+            total = self._bytes
+        self._unlink_evicted(evicted)
+        obs.count("cache.puts")
+        obs.gauge("cache.bytes", total)
         return True
 
     def evict(self, key: CacheKey) -> bool:
@@ -396,22 +450,21 @@ class KernelCache:
         on-disk entry existed and was removed."""
         name = key.filename()
         with self._lock:
-            self._index.pop(name, None)
-            try:
-                os.unlink(os.path.join(self.root, name))
-            except FileNotFoundError:
-                return False
-            except OSError:
-                return False
+            self._drop_index(name)
+        try:
+            os.unlink(os.path.join(self.root, name))
+        except OSError:
+            return False
+        with self._lock:
             self.evictions += 1
-            obs.count("cache.evictions")
-            return True
+        obs.count("cache.evictions")
+        return True
 
     def stats(self) -> dict:
         with self._lock:
             return {
                 "entries": len(self._index),
-                "bytes": self.total_bytes(),
+                "bytes": self._bytes,
                 "byte_budget": self.byte_budget,
                 "hits": self.hits,
                 "misses": self.misses,

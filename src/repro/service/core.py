@@ -56,6 +56,7 @@ from ..targets import get_target
 from .admission import AdmissionQueue, Deadline, DeadlineError, OverloadError
 from .breaker import CircuitBreaker, CircuitOpenError
 from .cache import CacheKey, KernelCache, canonical_crc
+from .singleflight import KeyedLocks, SingleFlight
 
 __all__ = ["ServiceRequest", "ServiceResponse", "KernelService"]
 
@@ -100,6 +101,10 @@ class ServiceResponse:
     #: the DegradationEvent chain explaining every fallback step taken.
     events: list = field(default_factory=list)
     from_cache: bool = False
+    #: True when this request was coalesced onto another request's
+    #: in-flight compile (single-flight follower) instead of compiling
+    #: or reading the persistent cache itself.
+    coalesced: bool = False
     attempts: int = 1
     #: id of the ``service.request`` trace span that produced this
     #: response (None when tracing is disabled) — lets log processors
@@ -185,7 +190,26 @@ class KernelService:
         self._stale: dict[tuple, FlowResult] = {}
         self._instances: dict[tuple, object] = {}
         self._rng = random.Random(seed)
-        self._lock = threading.RLock()  # IR caches, counters, breakers
+        # -- scoped locking (the lock map; see docs/service.md §7) -----------
+        # The old design funnelled every critical section — IR builds,
+        # JIT compiles, bytecode sizing, counters, breakers — through one
+        # global RLock, so the worker pool added zero compile throughput.
+        # Each concern now has its own lock, and the expensive work (JIT
+        # compilation) is serialized only per CacheKey via single-flight.
+        self._counts_lock = threading.Lock()    # self._counts
+        self._breakers_lock = threading.Lock()  # self._breakers map
+        self._instances_lock = threading.Lock()  # self._instances map
+        self._stale_lock = threading.Lock()     # self._stale map
+        self._rng_lock = threading.Lock()       # retry-jitter RNG
+        #: per-(kernel, size, flow, target, force) IR/cache-key builds —
+        #: identical shapes serialize, distinct shapes run in parallel.
+        self._ir_locks = KeyedLocks()
+        #: memoized (CacheKey, ir, jit_cls) per request shape, so the
+        #: warm path never re-prints IR to recompute cache identity.
+        self._keys: dict[tuple, tuple] = {}
+        #: per-CacheKey in-flight compile table: concurrent identical
+        #: misses share one compile (leader/follower).
+        self._singleflight = SingleFlight()
         self._pool = ThreadPoolExecutor(
             max_workers=int(workers), thread_name_prefix="repro-service"
         )
@@ -281,7 +305,7 @@ class KernelService:
 
     def health(self) -> dict:
         """Cheap liveness/pressure summary (the ``/healthz`` analogue)."""
-        with self._lock:
+        with self._breakers_lock:
             breakers = {t: b.state for t, b in self._breakers.items()}
         adm = self.admission.stats()
         status = "ok"
@@ -300,8 +324,9 @@ class KernelService:
 
     def stats(self) -> dict:
         """Full counter census for dashboards and the soak artifact."""
-        with self._lock:
+        with self._counts_lock:
             counts = dict(self._counts)
+        with self._breakers_lock:
             breakers = {
                 t: b.snapshot() for t, b in sorted(self._breakers.items())
             }
@@ -310,6 +335,7 @@ class KernelService:
             "admission": self.admission.stats(),
             "breakers": breakers,
             "cache": self.cache.stats() if self.cache is not None else None,
+            "singleflight": self._singleflight.stats(),
         }
         served = counts["ok"] + counts["degraded"] + counts["stale"]
         out["served"] = served
@@ -318,7 +344,7 @@ class KernelService:
     # -- internals ------------------------------------------------------------
 
     def _bump(self, key: str, n: int = 1) -> None:
-        with self._lock:
+        with self._counts_lock:
             self._counts[key] += n
         obs.count(f"service.{key}", n)
 
@@ -333,7 +359,7 @@ class KernelService:
         return resp
 
     def _breaker(self, target: str) -> CircuitBreaker:
-        with self._lock:
+        with self._breakers_lock:
             b = self._breakers.get(target)
             if b is None:
                 b = self._breakers[target] = CircuitBreaker(
@@ -343,7 +369,7 @@ class KernelService:
 
     def _instance(self, kernel: str, size: int | None):
         key = (kernel, size)
-        with self._lock:
+        with self._instances_lock:
             inst = self._instances.get(key)
             if inst is None:
                 inst = self._instances[key] = get_kernel(kernel).instantiate(
@@ -376,7 +402,9 @@ class KernelService:
                 )
             sp.set(status=resp.status, from_cache=resp.from_cache,
                    attempts=resp.attempts)
-            with self._lock:
+            if resp.coalesced:
+                sp.set(coalesced=True)
+            with self._breakers_lock:
                 breaker = self._breakers.get(request.target)
             if breaker is not None:
                 sp.set(breaker=breaker.state)
@@ -414,31 +442,46 @@ class KernelService:
         attempts = 0
 
         if breaker.allow():
+            # From here this request may BE the half-open probe: every
+            # exit path must settle the breaker.  Success and failure
+            # record an outcome; any path that leaves without judging
+            # the target (deadline expiry, KeyboardInterrupt, a bug in
+            # the cascade dispatch below) must still free the probe slot
+            # or the breaker wedges half-open forever — hence the
+            # try/finally with the ``settled`` flag.
+            settled = False
             try:
-                resp, attempts = self._attempt_with_retries(
-                    request, inst, request.flow, request.target, deadline,
-                    force_scalar=False,
-                )
-            except DeadlineError as exc:
-                # Expiry is load, not target health: no breaker charge,
-                # and the cascade would only blow the budget further.
-                self._bump("deadline_misses")
-                self._bump("rejected")
-                return ServiceResponse(
-                    request, "rejected", error=classify(exc), events=events,
-                    attempts=max(1, attempts),
-                )
-            except Exception as exc:
-                primary_exc = exc
-                breaker.record_failure()
-                events.append(_event(
-                    request.kernel, request.target, "primary-failed",
-                    f"{classify(exc)}: {exc}",
-                ))
-            else:
-                breaker.record_success()
-                self._remember_good(request, resp)
-                return self._finish(resp)
+                try:
+                    resp, attempts = self._attempt_with_retries(
+                        request, inst, request.flow, request.target, deadline,
+                        force_scalar=False,
+                    )
+                except DeadlineError as exc:
+                    # Expiry is load, not target health: no breaker
+                    # charge, and the cascade would only blow the budget
+                    # further.  (The finally below releases the probe.)
+                    self._bump("deadline_misses")
+                    self._bump("rejected")
+                    return ServiceResponse(
+                        request, "rejected", error=classify(exc),
+                        events=events, attempts=max(1, attempts),
+                    )
+                except Exception as exc:
+                    primary_exc = exc
+                    breaker.record_failure()
+                    settled = True
+                    events.append(_event(
+                        request.kernel, request.target, "primary-failed",
+                        f"{classify(exc)}: {exc}",
+                    ))
+                else:
+                    breaker.record_success()
+                    settled = True
+                    self._remember_good(request, resp)
+                    return self._finish(resp)
+            finally:
+                if not settled:
+                    breaker.release_probe()
         else:
             self._bump("breaker_short_circuits")
             events.append(_event(
@@ -463,10 +506,11 @@ class KernelService:
             attempts = attempt
             if attempt > 1:
                 self._bump("retries")
-                delay = backoff_delay(
-                    attempt - 1, base=self.backoff_base, cap=0.1,
-                    rng=self._rng,
-                )
+                with self._rng_lock:
+                    delay = backoff_delay(
+                        attempt - 1, base=self.backoff_base, cap=0.1,
+                        rng=self._rng,
+                    )
                 rem = deadline.remaining()
                 if rem is not None:
                     delay = min(delay, rem)
@@ -489,14 +533,16 @@ class KernelService:
         self, request, inst, flow, target_name, deadline, force_scalar
     ) -> ServiceResponse:
         target = get_target(target_name)
-        ck, from_cache = self._compiled(inst, flow, target, force_scalar)
+        ck, from_cache, coalesced = self._compiled(
+            inst, flow, target, force_scalar, deadline=deadline
+        )
         deadline.check("after compilation")
         result = self._execute(inst, ck, flow, target)
         events = list(ck.events)
         status = "degraded" if events else "ok"
         return ServiceResponse(
             request, status, result=result, events=events,
-            from_cache=from_cache,
+            from_cache=from_cache, coalesced=coalesced,
         )
 
     # -- compile path (cache-fronted) ----------------------------------------
@@ -507,11 +553,24 @@ class KernelService:
         Cache identity uses the canonical printed form of the bytecode
         (positional SSA ids), which is stable across processes, where the
         raw encoded stream embeds process-global gensym counters.
+
+        Scoped locking: IR construction takes a *per-shape* lock (so two
+        requests for the same shape build it once, while distinct
+        kernels/flows/targets build in parallel), and the finished
+        (CacheKey, ir, jit_cls) triple is memoized — the warm path never
+        re-prints IR just to recompute cache identity.
         """
         from ..ir import print_function
 
         form, jit_cls = FLOWS[flow]
-        with self._lock:
+        shape = (inst.name, inst.size, flow, target.name, bool(force_scalar))
+        hit = self._keys.get(shape)
+        if hit is not None:
+            return hit
+        with self._ir_locks.get(shape):
+            hit = self._keys.get(shape)
+            if hit is not None:
+                return hit
             if form == "scalar":
                 ir = self.runner.scalar_ir(inst)
             elif form == "split":
@@ -519,9 +578,11 @@ class KernelService:
             else:
                 ir = self.runner.native_ir(inst, target)
             canon = print_function(ir).encode()
-        crc = canonical_crc(canon)
-        compiler = jit_cls.name + ("+scalarized" if force_scalar else "")
-        return CacheKey(crc, target.name, compiler), ir, jit_cls
+            crc = canonical_crc(canon)
+            compiler = jit_cls.name + ("+scalarized" if force_scalar else "")
+            triple = (CacheKey(crc, target.name, compiler), ir, jit_cls)
+            self._keys[shape] = triple
+            return triple
 
     def evict(self, kernel: str, flow: str, target: str,
               size: int | None = None, force_scalar: bool = False) -> bool:
@@ -539,8 +600,22 @@ class KernelService:
         )
         return self.cache.evict(key)
 
-    def _compiled(self, inst, flow, target, force_scalar=False):
-        """(CompiledKernel, from_cache) for one request shape."""
+    def _compiled(self, inst, flow, target, force_scalar=False,
+                  deadline=None):
+        """(CompiledKernel, from_cache, coalesced) for one request shape.
+
+        The compile path is **single-flight**: a persistent-cache miss
+        enters the per-CacheKey in-flight table.  The first requester
+        (the *leader*) JIT-compiles — under no service-wide lock, so
+        distinct keys compile genuinely in parallel — and only the
+        leader writes the cache.  Concurrent requesters for the same key
+        (*followers*) block on the leader's flight and share its
+        CompiledKernel: N identical cold misses do exactly one compile
+        instead of N (the classic cache stampede).  Followers honour
+        their own deadline while waiting and share the leader's failure
+        (one deterministic compile error answers the whole cohort; each
+        request's retry loop then starts its own fresh flight).
+        """
         key, ir, jit_cls = self._cache_key_ir(
             inst, flow, target, force_scalar
         )
@@ -551,20 +626,69 @@ class KernelService:
                 ck = self.cache.get(key)
                 if ck is not None:
                     sp.set(cached=True)
-                    return ck, True
-            with self._lock:
-                ck = jit_cls().compile(
-                    ir, target, force_scalar=force_scalar
-                )
-            sp.set(cached=False, compile_seconds=ck.compile_seconds)
-            if ck.degraded:
-                sp.set(degraded=True,
-                       events=[e.cause for e in ck.events])
-        if self.cache is not None and not self._tainted(ck):
-            # A failed write (ENOSPC, injected torn write) only loses the
-            # cache benefit; the freshly compiled kernel is still served.
-            self.cache.put(key, ck)
-        return ck, False
+                    return ck, True, False
+            flight, leader = self._singleflight.begin(key)
+            if not leader:
+                # Follower: coalesce onto the in-flight compile.
+                obs.count("service.singleflight.follower")
+                self._await_flight(flight, deadline)
+                ck = flight.outcome()  # re-raises the leader's failure
+                sp.set(cached=False, coalesced=True)
+                if ck.degraded:
+                    sp.set(degraded=True,
+                           events=[e.cause for e in ck.events])
+                return ck, False, True
+            # Leader path.  Everything below runs under flight ownership;
+            # ``end`` is deferred until *after* the cache put so that any
+            # straggler that missed the cache pre-put either joins this
+            # flight (begin before end) or re-checks the cache below and
+            # hits (begin after end implies put already landed).  Either
+            # way: exactly one compile per key per cohort, deterministic.
+            try:
+                if self.cache is not None:
+                    ck = self.cache.get(key)
+                    if ck is not None:
+                        # Lost the pre-begin race: a previous leader
+                        # compiled and published between our cache miss
+                        # and our begin().  Serve the artifact and hand
+                        # it to any followers already parked on us.
+                        flight.resolve(ck)
+                        sp.set(cached=True)
+                        return ck, True, False
+                # Compile outside any global lock: distinct keys compile
+                # genuinely in parallel.
+                obs.count("service.singleflight.leader")
+                try:
+                    ck = jit_cls().compile(
+                        ir, target, force_scalar=force_scalar
+                    )
+                except BaseException as exc:
+                    flight.reject(exc)
+                    raise
+                flight.resolve(ck)
+                sp.set(cached=False, compile_seconds=ck.compile_seconds)
+                if ck.degraded:
+                    sp.set(degraded=True,
+                           events=[e.cause for e in ck.events])
+                if self.cache is not None and not self._tainted(ck):
+                    # A failed write (ENOSPC, injected torn write) only
+                    # loses the cache benefit; the freshly compiled
+                    # kernel is still served.  Only the leader ever
+                    # writes: one put per key per cohort.
+                    self.cache.put(key, ck)
+                return ck, False, False
+            finally:
+                self._singleflight.end(key, flight)
+
+    @staticmethod
+    def _await_flight(flight, deadline) -> None:
+        """Block on a leader's flight, honouring the follower's deadline."""
+        if deadline is None:
+            flight.wait()
+            return
+        while not flight.wait(timeout=deadline.remaining()):
+            # remaining() clamps at 0.0, so once expired check() raises.
+            deadline.check("while waiting for the coalesced compile")
 
     @staticmethod
     def _tainted(ck) -> bool:
@@ -595,8 +719,7 @@ class KernelService:
         if self.runner.check:
             self.runner.verify(inst, bufs, vm_result.value)
             checked = True
-        with self._lock:
-            scalar_bytes, vec_bytes = self.runner.bytecode_sizes(inst)
+        scalar_bytes, vec_bytes = self._bytecode_sizes(inst)
         form = FLOWS[flow][0]
         return FlowResult(
             kernel=inst.name,
@@ -609,6 +732,21 @@ class KernelService:
             checked=checked,
             stats=dict(ck.stats),
         )
+
+    def _bytecode_sizes(self, inst) -> tuple[int, int]:
+        """Thread-safe (scalar, vectorized) encoded sizes for a kernel.
+
+        Scoped locking: the memoized fast path is a lock-free dict read
+        (entries are immutable once inserted); construction serializes
+        per (kernel, size) — not service-wide — so two distinct kernels
+        size their bytecode in parallel.
+        """
+        key = (inst.name, inst.size)
+        sizes = self.runner._sizes_cache.get(key)
+        if sizes is not None:
+            return sizes
+        with self._ir_locks.get(("sizes",) + key):
+            return self.runner.bytecode_sizes(inst)
 
     # -- the degradation cascade ---------------------------------------------
 
@@ -671,7 +809,8 @@ class KernelService:
             return self._finish(resp)
 
         # Step 3: last known-good result for this exact request shape.
-        stale = self._stale.get(self._stale_key(request))
+        with self._stale_lock:
+            stale = self._stale.get(self._stale_key(request))
         if stale is not None:
             events.append(_event(
                 request.kernel, request.target, "stale-cache",
@@ -697,7 +836,7 @@ class KernelService:
 
     def _remember_good(self, request, resp) -> None:
         if resp.result is not None and resp.result.checked:
-            with self._lock:
+            with self._stale_lock:
                 self._stale[self._stale_key(request)] = resp.result
 
     def _finish(self, resp: ServiceResponse) -> ServiceResponse:

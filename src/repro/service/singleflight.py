@@ -1,0 +1,170 @@
+"""Single-flight compile coalescing and per-key scoped locks.
+
+The paper's bargain is that the online stage is *cheap* — linear-time
+materialization per target — but "cheap" still isn't free, and under
+concurrent load two classic serialization bugs eat the worker pool:
+
+* **cache stampede** — N concurrent misses for the same
+  :class:`~repro.service.cache.CacheKey` do N redundant compiles.  The
+  fix is *single-flight* (à la Go's ``golang.org/x/sync/singleflight``):
+  the first requester becomes the **leader** and compiles; every
+  concurrent requester for the same key becomes a **follower** that
+  blocks on the leader's :class:`threading.Event` and shares its
+  :class:`~repro.jit.compilers.CompiledKernel`.
+* **global critical section** — one service-wide lock around compilation
+  means the pool adds zero compile throughput.  The fix is *scoped*
+  locking: :class:`KeyedLocks` hands out one mutex per key so distinct
+  kernels/targets proceed genuinely in parallel and only identical work
+  serializes.
+
+Both primitives are deliberately tiny, stdlib-only, and deterministic
+(no wall-clock state), so the seeded chaos campaigns stay reproducible.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Flight", "SingleFlight", "KeyedLocks"]
+
+
+class Flight:
+    """One in-flight computation: an event plus its eventual outcome.
+
+    The leader calls exactly one of :meth:`resolve` / :meth:`reject`;
+    followers :meth:`wait` and then read ``value`` / ``exc``.  A flight
+    settles exactly once (``settled`` guards double-completion in
+    defensive paths).
+    """
+
+    __slots__ = ("_event", "value", "exc", "settled")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.value = None
+        self.exc: BaseException | None = None
+        self.settled = False
+
+    def resolve(self, value) -> None:
+        self.value = value
+        self.settled = True
+        self._event.set()
+
+    def reject(self, exc: BaseException) -> None:
+        self.exc = exc
+        self.settled = True
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the flight settles; False on timeout."""
+        return self._event.wait(timeout)
+
+    def outcome(self):
+        """The settled value, re-raising the leader's exception.
+
+        Only call after :meth:`wait` returned True.
+        """
+        if self.exc is not None:
+            raise self.exc
+        return self.value
+
+
+class SingleFlight:
+    """A per-key in-flight table: leaders compute, followers share.
+
+    ::
+
+        flight, leader = sf.begin(key)
+        if leader:
+            try:
+                flight.resolve(compute())
+            except BaseException as exc:
+                flight.reject(exc)
+                raise
+            finally:
+                sf.end(key, flight)
+            value = flight.value
+        else:
+            flight.wait()
+            value = flight.outcome()   # re-raises the leader's failure
+
+    The table only coalesces *concurrent* duplicates: ``end`` removes the
+    key, so a later request for the same key starts a fresh flight (and,
+    in the service, normally hits the persistent cache instead).
+    Followers share the leader's failure too — one deterministic compile
+    error answers every coalesced request instead of burning N compiles
+    rediscovering it; the per-request retry loop above still retries with
+    its own fresh flight.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict = {}
+        #: lifetime counters (exposed by ``KernelService.stats()``).
+        self.leaders = 0
+        self.followers = 0
+
+    def begin(self, key) -> tuple[Flight, bool]:
+        """(flight, is_leader) for ``key``.
+
+        The first caller for a key gets ``is_leader=True`` and *must*
+        settle the flight and call :meth:`end`; concurrent callers get
+        the same flight with ``is_leader=False``.
+        """
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = self._inflight[key] = Flight()
+                self.leaders += 1
+                return flight, True
+            self.followers += 1
+            return flight, False
+
+    def end(self, key, flight: Flight) -> None:
+        """Retire ``flight`` so later requests start fresh.
+
+        Identity-checked: a stale ``end`` (defensive double-call) never
+        removes a newer flight for the same key.
+        """
+        with self._lock:
+            if self._inflight.get(key) is flight:
+                del self._inflight[key]
+
+    def inflight(self) -> int:
+        """Number of keys currently being computed (for surfaces/tests)."""
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "leaders": self.leaders,
+                "followers": self.followers,
+                "inflight": len(self._inflight),
+            }
+
+
+class KeyedLocks:
+    """A lazily-populated map of key -> :class:`threading.Lock`.
+
+    Scoped locking for keyed work (IR construction, bytecode sizing):
+    identical keys serialize, distinct keys run in parallel.  Locks are
+    never discarded — the key space here is bounded by (kernel, size,
+    flow, target) shapes, which is exactly the set of artifacts the
+    service caches anyway.
+    """
+
+    def __init__(self) -> None:
+        self._meta = threading.Lock()
+        self._locks: dict = {}
+
+    def get(self, key) -> threading.Lock:
+        with self._meta:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = threading.Lock()
+            return lock
+
+    def __len__(self) -> int:
+        with self._meta:
+            return len(self._locks)

@@ -167,6 +167,91 @@ def test_cache_lru_eviction_respects_byte_budget(tmp_path):
     assert small.get(keys[0]) is None
 
 
+def _corrupt(path: str) -> None:
+    data = bytearray(open(path, "rb").read())
+    data[len(data) // 2] ^= 0x40
+    open(path, "wb").write(bytes(data))
+
+
+def test_quarantine_names_never_collide_across_instances(tmp_path):
+    """Regression (quarantine collision): evidence files were named with
+    the in-process ``quarantined`` counter, which resets on every
+    restart — a second service instance quarantining the same entry name
+    silently ``os.replace``d the first instance's evidence away."""
+    cache, key, ck = _compiled(tmp_path)
+    path = os.path.join(cache.root, key.filename())
+
+    cache.put(key, ck)
+    _corrupt(path)
+    assert cache.get(key) is None  # quarantined by instance 1
+
+    # A *fresh* cache over the same directory (counter would reset to 0)
+    # quarantines the same entry name again.
+    cache2 = KernelCache(cache.root)
+    cache2.put(key, ck)
+    _corrupt(path)
+    assert cache2.get(key) is None  # quarantined by instance 2
+
+    evidence = [n for n in os.listdir(cache.quarantine_dir)
+                if n.startswith(key.filename())]
+    assert len(evidence) == 2, (
+        f"expected both evidence files to survive, got {evidence}"
+    )
+
+
+def _assert_bytes_consistent(cache: KernelCache) -> None:
+    """The running byte total must equal the O(n) recomputed sum."""
+    with cache._lock:
+        assert cache._bytes == sum(cache._index.values())
+        assert cache.total_bytes() == cache._bytes
+
+
+def test_cache_running_byte_total_stays_consistent(tmp_path):
+    """The eviction loop now budgets against a running byte total
+    (O(evicted)) instead of re-summing the index per eviction (O(n²));
+    the total must stay exact through put/get/evict/quarantine/scan."""
+    cache, key, ck = _compiled(tmp_path)
+    cache.put(key, ck)
+    entry_bytes = cache.total_bytes()
+    assert entry_bytes > 0
+    _assert_bytes_consistent(cache)
+
+    small = KernelCache(str(tmp_path / "small"),
+                        byte_budget=int(entry_bytes * 2.5))
+    keys = [CacheKey(i, "sse", "gcc4cli") for i in range(6)]
+    for k in keys:
+        small.put(k, ck)
+        _assert_bytes_consistent(small)
+    assert small.evictions >= 1
+    assert small.total_bytes() <= small.byte_budget
+
+    # LRU touch keeps the total exact.
+    assert small.get(keys[-1]) is not None
+    _assert_bytes_consistent(small)
+
+    # Explicit eviction subtracts.
+    assert small.evict(keys[-1])
+    _assert_bytes_consistent(small)
+
+    # Quarantine subtracts.
+    victim = next(iter(small._index))
+    _corrupt(os.path.join(small.root, victim))
+    small._scan()
+    _assert_bytes_consistent(small)
+    for k in keys:
+        small.get(k)  # one of these quarantines the corrupt entry
+    assert small.quarantined >= 1
+    _assert_bytes_consistent(small)
+
+    # A fresh scan over the same directory agrees with disk.
+    rescan = KernelCache(small.root, byte_budget=small.byte_budget)
+    _assert_bytes_consistent(rescan)
+    assert rescan.total_bytes() == sum(
+        os.stat(os.path.join(rescan.root, n)).st_size
+        for n in rescan._index
+    )
+
+
 def test_cache_evict_is_idempotent(tmp_path):
     cache, key, ck = _compiled(tmp_path)
     cache.put(key, ck)
@@ -244,22 +329,58 @@ def test_breaker_full_cycle():
     assert b.state == "closed"  # below threshold
     b.record_failure()
     assert b.state == "open"
-    # cooldown counted in denied requests
+    # cooldown - 1 requests are short-circuited...
     assert not b.allow() and not b.allow()
-    assert b.state == "closed" or b.state == "open"
-    assert not b.allow()  # third denial arms the probe
+    assert b.state == "open"
+    # ...and the request that crosses the cooldown IS the probe (it used
+    # to be denied too, costing sparse traffic one extra request).
+    assert b.allow()
     assert b.state == "half-open"
-    assert b.allow()      # the probe
     assert not b.allow()  # only one probe at a time
     b.record_failure()    # probe fails -> back to open
     assert b.state == "open"
-    for _ in range(3):
+    for _ in range(2):
         assert not b.allow()
-    assert b.allow()      # next probe
+    assert b.allow()      # cooldown crossed again: next probe
     b.record_success()
     assert b.state == "closed"
     snap = b.snapshot()
     assert snap["opens"] == 2 and snap["probes"] == 2
+    assert snap["short_circuits"] == 5  # 2 + 1 (probe busy) + 2
+
+
+def test_breaker_probe_not_delayed_an_extra_request():
+    """Regression (delayed probe): the call that crosses ``cooldown``
+    must itself be admitted as the probe — sparse traffic used to need
+    cooldown + 1 requests because that call flipped OPEN -> HALF-OPEN
+    but still returned False."""
+    b = CircuitBreaker(failure_threshold=1, cooldown=2)
+    b.record_failure()
+    assert b.state == "open"
+    assert not b.allow()          # denial 1 of 2
+    assert b.allow()              # denial 2 crosses cooldown -> the probe
+    assert b.state == "half-open"
+    assert b.snapshot()["probes"] == 1
+    b.record_success()
+    assert b.state == "closed"
+
+
+def test_breaker_release_probe_frees_slot_without_judging_target():
+    """Regression (half-open wedge): a probe that evaporates (deadline
+    expiry before the attempt ran) must release the slot — without a
+    state change or a failure charge — or the breaker wedges half-open
+    and short-circuits every later request forever."""
+    b = CircuitBreaker(failure_threshold=1, cooldown=1)
+    b.record_failure()
+    assert b.state == "open"
+    assert b.allow()              # cooldown=1: first call is the probe
+    assert b.state == "half-open"
+    assert not b.allow()          # probe slot busy
+    b.release_probe()             # the probe's request evaporated
+    assert b.state == "half-open"  # no judgement either way
+    assert b.allow()              # slot free again: next request probes
+    b.record_success()
+    assert b.state == "closed"
 
 
 def test_breaker_success_resets_failure_streak():
@@ -442,6 +563,41 @@ def test_breaker_opens_and_short_circuits(tmp_path):
         assert any(e.cause == "breaker-open" for e in resp.events)
         assert svc.stats()["breaker_short_circuits"] >= 1
         assert svc.health()["status"] == "degraded"
+    finally:
+        svc.close()
+
+
+def test_half_open_probe_deadline_does_not_wedge_breaker(tmp_path):
+    """Regression (half-open wedge, end to end): a HALF-OPEN probe whose
+    request dies of deadline expiry used to return early without
+    releasing the probe slot, leaving ``_probe_inflight`` True forever —
+    every later request for that target was short-circuited into the
+    cascade and the breaker could never close again."""
+    svc = KernelService(
+        cache_dir=str(tmp_path / "c"), retries=0, backoff_base=0.0,
+        breaker_threshold=1, breaker_cooldown=1,
+    )
+    try:
+        plan = faults.FaultPlan([faults.MemFault(after=1, repeat=True)])
+        with faults.injected(plan):
+            bad = svc.handle(_req("saxpy_fp", target="neon"))
+        assert not any(e.cause == "breaker-open" for e in bad.events)
+        assert svc.health()["breakers"]["neon"] == "open"
+
+        # cooldown=1: this request crosses the cooldown and IS the
+        # probe — and its zero deadline expires before the attempt runs.
+        probe = svc.handle(_req("saxpy_fp", target="neon", deadline_s=0.0))
+        assert probe.status == "rejected" and probe.error == "DeadlineError"
+        # Expiry is load, not target health: no state change...
+        assert svc.health()["breakers"]["neon"] == "half-open"
+
+        # ...and crucially the probe slot is free again: the next clean
+        # request is admitted as a probe, succeeds, and closes the
+        # breaker.  (Wedged, it would cascade-degrade forever.)
+        good = svc.handle(_req("saxpy_fp", target="neon"))
+        assert good.status == "ok"
+        assert not any(e.cause == "breaker-open" for e in good.events)
+        assert svc.health()["breakers"]["neon"] == "closed"
     finally:
         svc.close()
 
