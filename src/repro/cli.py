@@ -301,6 +301,7 @@ def _cmd_chaos(args) -> int:
     if args.profile == "service":
         report = run_service_campaign(
             n_faults=args.faults, seed=args.seed, size=args.size,
+            farm_workers=args.farm_workers,
         )
     else:
         report = run_campaign(
@@ -356,6 +357,7 @@ def _cmd_serve(args) -> int:
         cache_dir=cache_dir,
         queue_limit=args.queue_limit,
         workers=args.jobs,
+        farm_workers=args.farm_workers,
         seed=args.seed,
     )
     try:
@@ -386,6 +388,12 @@ def _cmd_serve(args) -> int:
         sf = stats["singleflight"]
         print(f"singleflight: {sf['leaders']} leader(s), "
               f"{sf['followers']} coalesced follower(s)")
+        if stats["farm"] is not None:
+            fm = stats["farm"]
+            print(f"farm: {fm['workers']} worker(s), "
+                  f"{fm['completed']}/{fm['dispatched']} dispatch(es) "
+                  f"completed, {fm['crashes']} crash(es), "
+                  f"{fm['stalls']} stall(s), {fm['rebuilds']} rebuild(s)")
         print(f"health: {health['status']} "
               f"(queue {health['queue_depth']}/{health['queue_limit']}, "
               f"breakers: "
@@ -511,6 +519,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="'layers' injects into the pipeline stages; "
                    "'service' soaks a live KernelService (cache "
                    "corruption, torn writes, breaker trips, overload)")
+    p.add_argument("--farm-workers", type=int, default=0,
+                   help="for --profile service: run the soaked service "
+                   "with a compile farm and mix in farm faults (worker "
+                   "crash/stall, stale cross-replica leader markers)")
     p.add_argument("--stats-out",
                    help="write the campaign census (and final service "
                    "stats, for --profile service) as JSON")
@@ -531,6 +543,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-j", "--jobs", "--workers", type=int, default=4,
                    dest="jobs",
                    help="service worker threads (--workers is an alias)")
+    p.add_argument("--farm-workers", type=int, default=0,
+                   help="compile-farm worker processes (0 = compile "
+                   "inline under the GIL); cold JIT compiles are "
+                   "dispatched cross-process so distinct kernels "
+                   "compile on distinct cores")
     p.add_argument("--queue-limit", type=int, default=32,
                    help="admission-queue bound (requests beyond it shed)")
     p.add_argument("--stats-out",

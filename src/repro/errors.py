@@ -31,6 +31,7 @@ class                      layer / meaning
 ``DeadlineError``          service: per-request deadline expired
 ``CircuitOpenError``       service: target short-circuited by its breaker
 ``CacheError``             service: kernel-cache entry unusable (quarantined)
+``FarmError``              service: compile-farm dispatch failed (rerouted)
 ``FaultInjected``          faults: marker mixin for injected failures
 ========================== ==================================================
 
@@ -70,6 +71,7 @@ __all__ = [
     "DeadlineError",
     "CircuitOpenError",
     "CacheError",
+    "FarmError",
 ]
 
 
@@ -110,6 +112,7 @@ _HOMES = {
     "DeadlineError": "repro.service.admission",
     "CircuitOpenError": "repro.service.breaker",
     "CacheError": "repro.service.cache",
+    "FarmError": "repro.service.farm",
 }
 
 

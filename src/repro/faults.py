@@ -20,7 +20,14 @@ toolchain:
 * **service cache** (:mod:`repro.service.cache`): torn writes — the
   process "dies" between the partial temp-file write and the atomic
   rename — exercising the crash-safe cache discipline (the destination
-  entry must never be observable half-written).
+  entry must never be observable half-written) — and stale cross-replica
+  leader markers (a "dead replica" left its advisory ``.lead`` file next
+  to a cache entry), exercising the TTL takeover protocol;
+* **compile farm** (:mod:`repro.service.farm`): the
+  :class:`WorkerCrash`/:class:`WorkerStall` faults also fire inside farm
+  worker processes (the active plan ships with every
+  :class:`~repro.service.farm.CompileJob`), exercising job rerouting
+  after a crashed worker and the per-flight compile-budget watchdog.
 
 A :class:`FaultPlan` is plain picklable data, so it ships to sweep worker
 processes.  Faults are *installed* for a dynamic extent::
@@ -57,6 +64,7 @@ __all__ = [
     "WorkerCrash",
     "WorkerStall",
     "CacheTornWrite",
+    "StaleMarker",
     "injected",
     "install",
     "uninstall",
@@ -66,6 +74,7 @@ __all__ = [
     "corrupt",
     "worker_fault",
     "cache_torn_write",
+    "stale_marker",
 ]
 
 
@@ -132,8 +141,11 @@ class MisalignFault:
 
 @dataclass(frozen=True)
 class WorkerCrash:
-    """Hard-kill (``os._exit``) the sweep worker that picks up a matching
-    cell — the process dies mid-task, as a segfault would."""
+    """Hard-kill (``os._exit``) the worker process that picks up a
+    matching unit of work — the process dies mid-task, as a segfault
+    would.  Fires in sweep workers (:mod:`repro.harness.parallel`) and in
+    compile-farm workers (:mod:`repro.service.farm`), where the farm must
+    detect the broken pool and reroute the compile."""
 
     kernel: str = "*"
     flow: str = "*"
@@ -142,8 +154,12 @@ class WorkerCrash:
 
 @dataclass(frozen=True)
 class WorkerStall:
-    """Stall a matching cell past any reasonable deadline (sleep), so the
-    per-cell timeout machinery must reclaim the worker."""
+    """Stall a matching unit of work (sleep ``seconds``), so the timeout
+    machinery must reclaim the worker: the sweep harness's per-cell
+    timeout, or the farm's per-flight compile-budget watchdog.  Small
+    values double as a deterministic model of backend compile latency in
+    benchmarks (the sleep runs on the *worker's* schedule, exactly like
+    native codegen on the worker's core)."""
 
     kernel: str = "*"
     flow: str = "*"
@@ -156,6 +172,20 @@ class CacheTornWrite:
     partial temp file is produced, the atomic rename never happens, and a
     classified injection-marked :class:`~repro.service.cache.CacheError`
     is raised.  ``count`` bounds how many writes fail (None = all writes
+    under this plan)."""
+
+    count: int | None = 1
+
+
+@dataclass(frozen=True)
+class StaleMarker:
+    """Plant a dead replica's advisory leader marker just before a
+    service claims cross-replica compile leadership: the ``.lead`` file
+    appears next to the cache entry with its mtime aged past the TTL, as
+    if another :class:`~repro.service.KernelService` replica crashed
+    mid-compile without releasing it.  The claimer must detect the stale
+    marker and take leadership over instead of waiting forever.
+    ``count`` bounds how many claims are sabotaged (None = all claims
     under this plan)."""
 
     count: int | None = 1
@@ -266,10 +296,18 @@ class FaultPlan:
     def make_torn_write_hook(self):
         """A fresh countdown closure for the plan's first
         :class:`CacheTornWrite` (re-armed per install)."""
-        torn = self._of(CacheTornWrite)
-        if not torn:
+        return self._make_counted_hook(CacheTornWrite)
+
+    def make_stale_marker_hook(self):
+        """A fresh countdown closure for the plan's first
+        :class:`StaleMarker` (re-armed per install)."""
+        return self._make_counted_hook(StaleMarker)
+
+    def _make_counted_hook(self, cls):
+        found = self._of(cls)
+        if not found:
             return None
-        fault = torn[0]
+        fault = found[0]
         state = [0]
 
         def hook():
@@ -305,34 +343,40 @@ mem_hook = None
 #: torn-write hook consulted by the service cache's atomic_write.
 torn_write_hook = None
 
+#: stale-marker hook consulted by the cache's cross-replica leader claim.
+stale_marker_hook = None
+
 
 def install(plan: FaultPlan) -> FaultPlan:
-    """Install ``plan``; arms fresh memory-fault/torn-write countdowns."""
-    global _ACTIVE, mem_hook, torn_write_hook
+    """Install ``plan``; arms fresh memory-fault/torn-write/stale-marker
+    countdowns."""
+    global _ACTIVE, mem_hook, torn_write_hook, stale_marker_hook
     _ACTIVE = plan
     mem_hook = plan.make_mem_hook()
     torn_write_hook = plan.make_torn_write_hook()
+    stale_marker_hook = plan.make_stale_marker_hook()
     return plan
 
 
 def uninstall() -> None:
     """Remove any installed plan; every injection point goes dormant."""
-    global _ACTIVE, mem_hook, torn_write_hook
+    global _ACTIVE, mem_hook, torn_write_hook, stale_marker_hook
     _ACTIVE = None
     mem_hook = None
     torn_write_hook = None
+    stale_marker_hook = None
 
 
 @contextmanager
 def injected(plan: FaultPlan):
     """Install ``plan`` for the duration of the ``with`` block."""
-    global _ACTIVE, mem_hook, torn_write_hook
-    prev = (_ACTIVE, mem_hook, torn_write_hook)
+    global _ACTIVE, mem_hook, torn_write_hook, stale_marker_hook
+    prev = (_ACTIVE, mem_hook, torn_write_hook, stale_marker_hook)
     install(plan)
     try:
         yield plan
     finally:
-        _ACTIVE, mem_hook, torn_write_hook = prev
+        _ACTIVE, mem_hook, torn_write_hook, stale_marker_hook = prev
 
 
 def active_plan() -> FaultPlan | None:
@@ -370,3 +414,10 @@ def cache_torn_write():
     """Service-cache injection point: the :class:`CacheTornWrite` that
     should fire on this write under the active plan, or None."""
     return None if torn_write_hook is None else torn_write_hook()
+
+
+def stale_marker():
+    """Leader-marker injection point: the :class:`StaleMarker` that
+    should sabotage this cross-replica claim under the active plan, or
+    None."""
+    return None if stale_marker_hook is None else stale_marker_hook()

@@ -70,6 +70,7 @@ __all__ = [
     "run_service_campaign",
     "LAYERS",
     "SERVICE_LAYERS",
+    "FARM_LAYERS",
 ]
 
 #: injection layers with their campaign weights.
@@ -340,12 +341,20 @@ SERVICE_LAYERS = (
 )
 _SERVICE_WEIGHTS = (20, 18, 8, 12, 8, 12, 12, 5, 5)
 
+#: extra layers mixed in when the soak runs with a compile farm
+#: (``farm_workers > 0``); kept separate so the default campaign's
+#: seeded fault stream — and every pinned-seed determinism test — is
+#: unchanged by the farm's existence.
+FARM_LAYERS = ("svc-farm-crash", "svc-farm-stall", "svc-stale-marker")
+_FARM_WEIGHTS = (6, 4, 5)
+
 
 class _ServiceSoak:
     """State of one service soak campaign: a live service, a cold
     no-cache reference runner, and per-trial validators."""
 
-    def __init__(self, seed: int, size: int, cache_dir: str) -> None:
+    def __init__(self, seed: int, size: int, cache_dir: str,
+                 farm_workers: int = 0) -> None:
         from ..service import KernelService
 
         self.rng = random.Random(seed)
@@ -354,11 +363,13 @@ class _ServiceSoak:
         self.cache_dir = cache_dir
         # backoff_base=0 keeps the soak fast and deterministic (no real
         # sleeps); tight breaker knobs make open/half-open/closed cycles
-        # happen organically within a 200-fault campaign.
+        # happen organically within a 200-fault campaign.  The tight
+        # farm budget keeps the stall-watchdog trials sub-second.
         self.svc = KernelService(
             cache_dir=cache_dir, seed=seed, retries=1,
             backoff_base=0.0, breaker_threshold=2, breaker_cooldown=4,
             queue_limit=16, workers=2,
+            farm_workers=farm_workers, farm_budget_s=0.4,
         )
         self.ref_runner = FlowRunner()
         self._refs: dict = {}
@@ -611,6 +622,74 @@ class _ServiceSoak:
             )
         return trial
 
+    # -- compile-farm trials (farm_workers > 0 campaigns only) ----------------
+
+    def farm_crash(self, kernel: str) -> ChaosTrial:
+        """A farm worker dies mid-compile: the pool is rebuilt, the job
+        rerouted inline, the response classified and correct, and the
+        cache entry written afterwards is whole (served next request)."""
+        req = self._request(kernel, flow="split_vec_gcc4cli")
+        self.svc.evict(kernel, req.flow, req.target, size=req.size)
+        fault = faults.WorkerCrash(kernel=kernel)
+        before = self.svc._farm.crashes
+        with faults.injected(faults.FaultPlan([fault])):
+            resp = self.svc.handle(req)
+        trial = self.judge("svc-farm-crash", repr(fault), req, resp)
+        if not trial.ok:
+            return trial
+        if self.svc._farm.crashes <= before:
+            return ChaosTrial("svc-farm-crash", kernel, repr(fault),
+                              "silent-wrong", "worker crash did not fire")
+        # No torn entry: the rerouted compile's cache entry must verify
+        # and serve (a crash must never poison what the leader persists).
+        resp2 = self.svc.handle(req)
+        trial2 = self.judge("svc-farm-crash", repr(fault), req, resp2)
+        if not trial2.ok:
+            return trial2
+        return ChaosTrial("svc-farm-crash", kernel, repr(fault),
+                          "rerouted", "pool rebuilt; compiled inline")
+
+    def farm_stall(self, kernel: str) -> ChaosTrial:
+        """A wedged farm worker outlives the compile budget: the
+        watchdog kills the pool and the leader reroutes inline."""
+        req = self._request(kernel, flow="split_vec_gcc4cli")
+        self.svc.evict(kernel, req.flow, req.target, size=req.size)
+        fault = faults.WorkerStall(kernel=kernel, seconds=30.0)
+        before = self.svc._farm.stalls
+        with faults.injected(faults.FaultPlan([fault])):
+            resp = self.svc.handle(req)
+        trial = self.judge("svc-farm-stall", repr(fault), req, resp)
+        if not trial.ok:
+            return trial
+        if self.svc._farm.stalls <= before:
+            return ChaosTrial("svc-farm-stall", kernel, repr(fault),
+                              "silent-wrong",
+                              "stall watchdog did not fire")
+        return ChaosTrial("svc-farm-stall", kernel, repr(fault),
+                          "rerouted", "budget watchdog killed the worker; "
+                          "compiled inline")
+
+    def stale_marker(self, kernel: str) -> ChaosTrial:
+        """A dead replica's aged leader marker sits next to the entry at
+        claim time: this service must take leadership over (TTL expiry),
+        compile, and serve — never wait forever on a corpse."""
+        req = self._request(kernel, flow="split_vec_gcc4cli")
+        self.svc.evict(kernel, req.flow, req.target, size=req.size)
+        fault = faults.StaleMarker()
+        before = self.svc.cache.marker_takeovers
+        with faults.injected(faults.FaultPlan([fault])):
+            resp = self.svc.handle(req)
+        trial = self.judge("svc-stale-marker", repr(fault), req, resp)
+        if not trial.ok:
+            return trial
+        if self.svc.cache.marker_takeovers <= before:
+            return ChaosTrial("svc-stale-marker", kernel, repr(fault),
+                              "silent-wrong",
+                              "marker takeover did not fire")
+        return ChaosTrial("svc-stale-marker", kernel, repr(fault),
+                          "marker-takeover",
+                          "aged marker reclaimed; compiled locally")
+
     # -- scripted epilogue trials ---------------------------------------------
 
     def breaker_cycle(self) -> ChaosTrial:
@@ -686,23 +765,35 @@ def run_service_campaign(
     kernels=_DEFAULT_KERNELS,
     size: int = 16,
     cache_dir: str | None = None,
+    farm_workers: int = 0,
 ) -> ChaosReport:
     """Soak a live :class:`~repro.service.KernelService` with ``n_faults``
     seeded faults; returns the outcome census with ``service_stats``
     attached.  Deterministic in ``seed`` (service jitter is seeded and
-    backoff sleeps are disabled)."""
+    backoff sleeps are disabled).
+
+    ``farm_workers > 0`` runs the service with a compile farm and mixes
+    the :data:`FARM_LAYERS` into the stream — worker crash/stall at the
+    dispatch boundary and stale cross-replica leader markers at claim
+    time.  The default (farm-less) fault stream is bit-for-bit what it
+    was before the farm existed, so pinned-seed campaigns stay stable.
+    """
     import shutil
     import tempfile
 
     rng = random.Random(seed)
     kernels = tuple(kernels)
+    layers, weights = SERVICE_LAYERS, _SERVICE_WEIGHTS
+    if int(farm_workers) > 0:
+        layers = layers + FARM_LAYERS
+        weights = weights + _FARM_WEIGHTS
     own_dir = cache_dir is None
     root = cache_dir or tempfile.mkdtemp(prefix="repro-svc-chaos-")
-    soak = _ServiceSoak(seed, size, root)
+    soak = _ServiceSoak(seed, size, root, farm_workers=int(farm_workers))
     report = ChaosReport(seed=seed)
     try:
         for _ in range(int(n_faults)):
-            layer = rng.choices(SERVICE_LAYERS, weights=_SERVICE_WEIGHTS)[0]
+            layer = rng.choices(layers, weights=weights)[0]
             kernel = rng.choice(kernels)
             if layer == "svc-plain":
                 t = soak.plain(kernel)
@@ -720,6 +811,12 @@ def run_service_campaign(
                 t = soak.vm(kernel, persistent=True)
             elif layer == "svc-overload":
                 t = soak.overload(kernel)
+            elif layer == "svc-farm-crash":
+                t = soak.farm_crash(kernel)
+            elif layer == "svc-farm-stall":
+                t = soak.farm_stall(kernel)
+            elif layer == "svc-stale-marker":
+                t = soak.stale_marker(kernel)
             else:
                 t = soak.deadline(kernel)
             report.trials.append(t)

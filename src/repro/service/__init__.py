@@ -17,11 +17,15 @@ from .cache import (
     atomic_write,
 )
 from .core import KernelService, ServiceRequest, ServiceResponse
+from .farm import CompileFarm, CompileJob, FarmError
 
 __all__ = [
     "KernelService",
     "ServiceRequest",
     "ServiceResponse",
+    "CompileFarm",
+    "CompileJob",
+    "FarmError",
     "KernelCache",
     "CacheKey",
     "CacheError",

@@ -18,8 +18,18 @@ cache is built *assuming* its own entries will go bad:
   wrong magic, unpicklable) is *quarantined* — renamed aside, never
   deleted evidence, never served — and the lookup reports a miss so the
   caller recompiles and overwrites.
-* **LRU byte-budget.**  The cache holds at most ``byte_budget`` bytes of
-  entries; inserting past the budget evicts least-recently-used entries.
+* **LRU byte-budget, reservation-style.**  The cache holds at most
+  ``byte_budget`` bytes of entries; an insert *reserves* its size against
+  the budget (evicting least-recently-used entries first) **before** the
+  tempfile is written, so peak disk usage is bounded by the budget plus
+  one in-flight entry — never "write everything, evict later".
+* **Cross-replica leader markers.**  Service replicas sharing one cache
+  directory coalesce cold misses through advisory ``.lead`` files next to
+  the entries: one replica claims compile leadership (``O_EXCL`` create),
+  the others wait-and-read instead of recompiling, and a marker whose
+  mtime ages past its TTL is *taken over* — a crashed replica can never
+  strand the fleet.  Markers are advisory: the worst case of any race is
+  one redundant compile, which the atomic entry write makes harmless.
 
 Keys are :class:`CacheKey` tuples — (bytecode CRC-32, target name,
 compiler name, toolchain version) — so a toolchain upgrade or a different
@@ -49,6 +59,8 @@ __all__ = [
     "KernelCache",
     "atomic_write",
     "canonical_crc",
+    "pack_kernel",
+    "unpack_kernel",
     "ENTRY_MAGIC",
     "TOOLCHAIN_VERSION",
 ]
@@ -193,6 +205,60 @@ def _pack_entry(payload: bytes) -> bytes:
     ) + payload
 
 
+def pack_kernel(ck) -> bytes:
+    """Serialize a :class:`~repro.jit.compilers.CompiledKernel` into the
+    checksummed VBK1 envelope the cache stores on disk.
+
+    This is the *wire format of the compile farm* too: a farm worker
+    packs its result with this function and ships the envelope bytes
+    back over the process boundary, so the leader can both serve the
+    kernel (:func:`unpack_kernel`) and persist the exact bytes it
+    received (:meth:`KernelCache.put_bytes`) without a second
+    serialization — warm-cache responses are byte-identical to the cold
+    compile by construction.
+    """
+    payload = pickle.dumps(
+        {
+            "mfunc": ck.mfunc,
+            "target": ck.target.name,
+            "compiler": ck.compiler,
+            "compile_seconds": ck.compile_seconds,
+            "stats": dict(ck.stats),
+            "degraded": ck.degraded,
+            "events": list(ck.events),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return _pack_entry(payload)
+
+
+def unpack_kernel(data: bytes):
+    """Rebuild a :class:`~repro.jit.compilers.CompiledKernel` from a VBK1
+    envelope, verifying magic + checksum.
+
+    Raises :class:`CacheError` on any defect (``truncated`` /
+    ``bad-magic`` / ``bad-checksum`` / ``bad-payload``); never returns a
+    kernel from bytes that don't verify.
+    """
+    from ..jit.compilers import CompiledKernel
+    from ..targets import get_target
+
+    payload = _unpack_entry(data)
+    try:
+        rec = pickle.loads(payload)
+        return CompiledKernel(
+            mfunc=rec["mfunc"],
+            target=get_target(rec["target"]),
+            compiler=rec["compiler"],
+            compile_seconds=rec["compile_seconds"],
+            stats=dict(rec["stats"]),
+            degraded=rec["degraded"],
+            events=list(rec["events"]),
+        )
+    except Exception as exc:  # unpicklable / malformed payload
+        raise CacheError("bad-payload", f"bad-payload: {exc}") from exc
+
+
 def _unpack_entry(data: bytes) -> bytes:
     """Verify the VBK1 envelope; returns the payload or raises CacheError."""
     if len(data) < _HEADER_BYTES:
@@ -223,7 +289,8 @@ class KernelCache:
     ``get`` returns a :class:`~repro.jit.compilers.CompiledKernel`
     reconstructed from disk, or ``None`` on miss *or* on any corruption
     (after quarantining the bad entry).  ``put`` serializes the kernel and
-    writes it atomically, then evicts LRU entries past ``byte_budget``.
+    writes it atomically after *reserving* its size against
+    ``byte_budget`` (evicting LRU entries first if needed).
 
     Thread-safe with **scoped locking**: the index lock guards only index
     mutation and counters.  Disk I/O — entry reads, unpickling,
@@ -247,11 +314,19 @@ class KernelCache:
         self._index: OrderedDict[str, int] = OrderedDict()
         #: running sum of ``_index.values()`` (kept exact under _lock).
         self._bytes = 0
+        #: bytes reserved by in-flight ``put_bytes`` calls (admission
+        #: holds them against the budget before the tempfile exists).
+        self._pending = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.quarantined = 0
         self.put_failures = 0
+        self.oversize_rejects = 0
+        self.budget_rejects = 0
+        self.marker_claims = 0
+        self.marker_waits = 0
+        self.marker_takeovers = 0
         self._scan()
 
     # -- index maintenance ----------------------------------------------------
@@ -356,9 +431,6 @@ class KernelCache:
         bytes or the new bytes, never a mix) — only the LRU touch takes
         the lock.
         """
-        from ..jit.compilers import CompiledKernel
-        from ..targets import get_target
-
         name = key.filename()
         path = os.path.join(self.root, name)
         try:
@@ -372,24 +444,10 @@ class KernelCache:
             self._quarantine(name, f"io: {exc}")
             return None
         try:
-            payload = _unpack_entry(data)
-            rec = pickle.loads(payload)
-            ck = CompiledKernel(
-                mfunc=rec["mfunc"],
-                target=get_target(rec["target"]),
-                compiler=rec["compiler"],
-                compile_seconds=rec["compile_seconds"],
-                stats=dict(rec["stats"]),
-                degraded=rec["degraded"],
-                events=list(rec["events"]),
-            )
+            ck = unpack_kernel(data)
         except CacheError as exc:
             self._miss()
             self._quarantine(name, exc.kind)
-            return None
-        except Exception as exc:  # unpicklable / malformed payload
-            self._miss()
-            self._quarantine(name, f"bad-payload: {exc}")
             return None
         with self._lock:
             # LRU touch (index mutation only).
@@ -411,39 +469,170 @@ class KernelCache:
         the cache: the destination is untouched and the failure is only
         counted — serving the freshly compiled kernel is unaffected.
         """
-        payload = pickle.dumps(
-            {
-                "mfunc": ck.mfunc,
-                "target": ck.target.name,
-                "compiler": ck.compiler,
-                "compile_seconds": ck.compile_seconds,
-                "stats": dict(ck.stats),
-                "degraded": ck.degraded,
-                "events": list(ck.events),
-            },
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
-        data = _pack_entry(payload)
+        return self.put_bytes(key, pack_kernel(ck))
+
+    def put_bytes(self, key: CacheKey, data: bytes) -> bool:
+        """Persist an already-packed VBK1 envelope under ``key``.
+
+        This is the insert primitive the compile farm uses: the leader
+        stores the exact envelope bytes a worker shipped back, with no
+        re-serialization, so the on-disk entry is byte-identical to the
+        cold response.
+
+        Admission is **reservation-style**: the entry's size is reserved
+        against the byte budget — evicting LRU entries as needed — *before*
+        the tempfile is written, so peak disk usage stays bounded by the
+        budget (plus unreserved foreign writes), never "write first, evict
+        later".  An entry larger than the whole budget is rejected outright
+        (``oversize_rejects``) instead of flushing the cache for nothing;
+        when concurrent reservations outrun the budget even with the index
+        drained, the put is likewise given up (``budget_rejects``) rather
+        than overshooting the bound; and a failed write rolls its
+        reservation back.  A rejected put is benign — the compile result
+        is still served, only the cache insert is skipped.
+        """
+        size = len(data)
         name = key.filename()
+        reject = None
+        evicted: list[str] = []
+        with self._lock:
+            if size > self.byte_budget:
+                self.oversize_rejects += 1
+                reject = "cache.oversize_rejects"
+            else:
+                self._pending += size
+                while self._index and (
+                    self._bytes + self._pending > self.byte_budget
+                ):
+                    ename, esize = self._index.popitem(last=False)
+                    self._bytes -= esize
+                    self.evictions += 1
+                    evicted.append(ename)
+                if self._bytes + self._pending > self.byte_budget:
+                    self._pending -= size
+                    self.budget_rejects += 1
+                    reject = "cache.budget_rejects"
+        self._unlink_evicted(evicted)
+        if reject is not None:
+            obs.count(reject)
+            return False
         try:
             # Disk I/O outside the lock: the write is an atomic rename,
             # so concurrent readers of the same name are already safe.
             atomic_write(os.path.join(self.root, name), data)
         except (CacheError, OSError):
             with self._lock:
+                self._pending -= size
                 self.put_failures += 1
             obs.count("cache.put_failures")
             return False
         with self._lock:
+            self._pending -= size
             self._drop_index(name)
-            self._index[name] = len(data)
-            self._bytes += len(data)
-            evicted = self._evict_over_budget()
+            self._index[name] = size
+            self._bytes += size
             total = self._bytes
-        self._unlink_evicted(evicted)
         obs.count("cache.puts")
         obs.gauge("cache.bytes", total)
         return True
+
+    # -- cross-replica leader markers -----------------------------------------
+
+    def _marker_path(self, key: CacheKey) -> str:
+        return os.path.join(self.root, key.filename() + ".lead")
+
+    def claim_leader(
+        self, key: CacheKey, ttl_s: float, *, force: bool = False
+    ) -> str | None:
+        """Try to claim cross-replica compile leadership for ``key``.
+
+        Leadership is an advisory ``.lead`` file next to the (future)
+        cache entry, created with ``O_CREAT | O_EXCL`` so exactly one
+        replica per cache directory wins a cold miss.  Returns an opaque
+        token on success (pass it to :meth:`release_leader`), or ``None``
+        when another replica holds a *fresh* marker — the caller should
+        wait-and-poll the cache instead of recompiling.
+
+        A marker whose mtime has aged past ``ttl_s`` is presumed to
+        belong to a crashed or wedged replica: it is unlinked and the
+        claim retried (a **takeover**).  ``force=True`` treats any
+        existing marker as stale — the compile-budget watchdog uses this
+        to reclaim leadership when a fresh-looking marker has outlived
+        the caller's patience.  Markers are advisory: if two replicas
+        ever race past each other, both compile and the atomic entry
+        write keeps the cache consistent.
+
+        Fault injection: an active :class:`~repro.faults.StaleMarker`
+        plan plants a dead replica's aged marker just before the claim,
+        deterministically exercising the takeover path.
+        """
+        path = self._marker_path(key)
+        token = uuid.uuid4().hex
+        if faults.stale_marker() is not None:
+            # A replica "died" holding leadership: its marker is on disk
+            # and old enough that the TTL has long expired.
+            try:
+                with open(path, "wb") as f:
+                    f.write(b"injected-dead-replica\n")
+                aged = time.time() - (ttl_s + 60.0)
+                os.utime(path, (aged, aged))
+            except OSError:
+                pass
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - os.stat(path).st_mtime
+                except OSError:
+                    continue  # marker vanished under us — retry the claim
+                if age <= ttl_s and not force:
+                    with self._lock:
+                        self.marker_waits += 1
+                    obs.count("farm.marker_waits")
+                    return None
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                with self._lock:
+                    self.marker_takeovers += 1
+                obs.count("farm.marker_takeovers")
+                force = False
+                continue
+            except OSError:
+                # Unclaimable marker path (read-only dir, exotic fs):
+                # leadership is advisory, so proceed as leader — worst
+                # case is a redundant compile, never a wrong answer.
+                break
+            else:
+                try:
+                    os.write(fd, token.encode("ascii"))
+                finally:
+                    os.close(fd)
+                break
+        with self._lock:
+            self.marker_claims += 1
+        obs.count("farm.marker_claims")
+        return token
+
+    def release_leader(self, key: CacheKey, token: str) -> None:
+        """Drop the leadership marker for ``key`` if we still own it.
+
+        Token-checked: after a takeover the marker (if any) belongs to
+        the new leader, and a stale release must not unlink it.
+        """
+        path = self._marker_path(key)
+        try:
+            with open(path, "rb") as f:
+                owner = f.read().decode("ascii", "replace")
+        except OSError:
+            return
+        if owner == token:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def evict(self, key: CacheKey) -> bool:
         """Remove the entry for ``key`` (cache invalidation); True when an
@@ -476,4 +665,10 @@ class KernelCache:
                 "evictions": self.evictions,
                 "quarantined": self.quarantined,
                 "put_failures": self.put_failures,
+                "oversize_rejects": self.oversize_rejects,
+                "budget_rejects": self.budget_rejects,
+                "pending_bytes": self._pending,
+                "marker_claims": self.marker_claims,
+                "marker_waits": self.marker_waits,
+                "marker_takeovers": self.marker_takeovers,
             }

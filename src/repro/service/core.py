@@ -19,6 +19,13 @@ into that service:
 * **retries** — transient failures are retried with the harness's
   jittered exponential :func:`~repro.harness.parallel.backoff_delay`
   before degrading.
+* **compile farm** (:mod:`.farm`) — with ``farm_workers > 0`` the
+  single-flight leader dispatches each cold compile to a persistent
+  worker-*process* pool instead of compiling under the GIL, so N
+  distinct misses compile on N cores; with a shared ``cache_dir``,
+  leadership coalesces *across replicas* through advisory TTL markers,
+  and a per-flight compile-budget watchdog reroutes any flight whose
+  leader (thread, worker, or foreign replica) crashes or wedges.
 
 When the primary attempt is exhausted (or short-circuited), the request
 enters the **degradation cascade** — strictly ordered, every step
@@ -44,7 +51,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
-from .. import obs
+from .. import faults, obs
 from .._compat import warn_once
 from ..api import execute_phase
 from ..errors import classify
@@ -55,10 +62,60 @@ from ..kernels import get_kernel
 from ..targets import get_target
 from .admission import AdmissionQueue, Deadline, DeadlineError, OverloadError
 from .breaker import CircuitBreaker, CircuitOpenError
-from .cache import CacheKey, KernelCache, canonical_crc
+from .cache import CacheKey, KernelCache, canonical_crc, unpack_kernel
+from .farm import CompileFarm, CompileJob, FarmError
 from .singleflight import KeyedLocks, SingleFlight
 
 __all__ = ["ServiceRequest", "ServiceResponse", "KernelService"]
+
+
+class _ShardedCounters:
+    """Per-thread sharded counters, merged at snapshot time.
+
+    The old global ``_counts`` dict behind one lock was the last
+    hot-path critical section every request crossed (twice: admission
+    and finish).  Each thread now bumps its *own* shard — a plain dict
+    pre-populated with the full key set, touched by no other thread — so
+    the hot path takes no lock at all.  ``snapshot`` merges the shards
+    under the registry lock; it may observe a bump that is mid-flight on
+    another core (counters are monotonic, so the snapshot is simply a
+    moment-in-time floor), which is the usual sharded-counter bargain.
+
+    Shards are keyed by thread lifetime: a shard stays registered after
+    its thread exits so no counts are ever lost, and the registry is
+    bounded by the total number of threads that ever touched the service
+    (the worker pool is fixed-size; client threads are the caller's).
+    """
+
+    def __init__(self, keys) -> None:
+        self._keys = tuple(keys)
+        self._local = threading.local()
+        self._registry: list[dict] = []
+        self._registry_lock = threading.Lock()
+
+    def _shard(self) -> dict:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            # Pre-populate every key: after this, the shard is only ever
+            # value-updated (never resized), so the lock-free reads in
+            # ``snapshot`` can iterate it safely.
+            shard = {k: 0 for k in self._keys}
+            with self._registry_lock:
+                self._registry.append(shard)
+            self._local.shard = shard
+        return shard
+
+    def bump(self, key: str, n: int = 1) -> None:
+        self._shard()[key] += n
+
+    def snapshot(self) -> dict:
+        with self._registry_lock:
+            shards = list(self._registry)
+        out = {k: 0 for k in self._keys}
+        for shard in shards:
+            for k in self._keys:
+                out[k] += shard[k]
+        return out
 
 
 @dataclass(frozen=True)
@@ -162,6 +219,10 @@ class KernelService:
         cache_budget: int = 8 << 20,
         queue_limit: int = 32,
         workers: int = 4,
+        farm_workers: int = 0,
+        farm_budget_s: float | None = 30.0,
+        replica_coalesce: bool = True,
+        marker_ttl_s: float = 10.0,
         retries: int = 2,
         backoff_base: float = 0.005,
         breaker_threshold: int = 3,
@@ -196,7 +257,8 @@ class KernelService:
         # global RLock, so the worker pool added zero compile throughput.
         # Each concern now has its own lock, and the expensive work (JIT
         # compilation) is serialized only per CacheKey via single-flight.
-        self._counts_lock = threading.Lock()    # self._counts
+        # (Service counters went further: per-thread shards, no lock at
+        # all on the hot path — see _ShardedCounters.)
         self._breakers_lock = threading.Lock()  # self._breakers map
         self._instances_lock = threading.Lock()  # self._instances map
         self._stale_lock = threading.Lock()     # self._stale map
@@ -210,23 +272,43 @@ class KernelService:
         #: per-CacheKey in-flight compile table: concurrent identical
         #: misses share one compile (leader/follower).
         self._singleflight = SingleFlight()
+        #: per-flight compile budget (seconds): bounds a farm dispatch,
+        #: a follower's patience on an unsettled flight, and the wait on
+        #: a foreign replica's leader marker.  None disables watchdogs.
+        self.farm_budget_s = farm_budget_s
+        self.replica_coalesce = bool(replica_coalesce)
+        self.marker_ttl_s = float(marker_ttl_s)
+        self._runner_config = self.runner.config()
+        # The farm forks eagerly, BEFORE any service thread exists (the
+        # request pool below spawns its threads lazily on first submit),
+        # so workers never inherit a mid-transaction lock.
+        self._farm = (
+            CompileFarm(farm_workers, budget_s=farm_budget_s)
+            if int(farm_workers) > 0
+            else None
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=int(workers), thread_name_prefix="repro-service"
         )
         self._started = time.monotonic()
-        self._counts: dict[str, int] = {
-            "requests": 0,
-            "ok": 0,
-            "degraded": 0,
-            "stale": 0,
-            "shed": 0,
-            "rejected": 0,
-            "retries": 0,
-            "deadline_misses": 0,
-            "degradation_events": 0,
-            "breaker_short_circuits": 0,
-            "internal_errors": 0,
-        }
+        self._counters = _ShardedCounters([
+            "requests",
+            "ok",
+            "degraded",
+            "stale",
+            "shed",
+            "rejected",
+            "retries",
+            "deadline_misses",
+            "degradation_events",
+            "breaker_short_circuits",
+            "internal_errors",
+            "farm_dispatches",
+            "farm_fallbacks",
+            "flight_usurps",
+            "replica_waits",
+            "replica_hits",
+        ])
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -235,6 +317,8 @@ class KernelService:
         if not self._closed:
             self._closed = True
             self._pool.shutdown(wait=True)
+            if self._farm is not None:
+                self._farm.close()
 
     def __enter__(self) -> "KernelService":
         return self
@@ -324,8 +408,7 @@ class KernelService:
 
     def stats(self) -> dict:
         """Full counter census for dashboards and the soak artifact."""
-        with self._counts_lock:
-            counts = dict(self._counts)
+        counts = self._counters.snapshot()
         with self._breakers_lock:
             breakers = {
                 t: b.snapshot() for t, b in sorted(self._breakers.items())
@@ -336,6 +419,7 @@ class KernelService:
             "breakers": breakers,
             "cache": self.cache.stats() if self.cache is not None else None,
             "singleflight": self._singleflight.stats(),
+            "farm": self._farm.stats() if self._farm is not None else None,
         }
         served = counts["ok"] + counts["degraded"] + counts["stale"]
         out["served"] = served
@@ -344,8 +428,7 @@ class KernelService:
     # -- internals ------------------------------------------------------------
 
     def _bump(self, key: str, n: int = 1) -> None:
-        with self._counts_lock:
-            self._counts[key] += n
+        self._counters.bump(key, n)
         obs.count(f"service.{key}", n)
 
     def _shed_response(self, request, exc) -> ServiceResponse:
@@ -615,6 +698,17 @@ class KernelService:
         their own deadline while waiting and share the leader's failure
         (one deterministic compile error answers the whole cohort; each
         request's retry loop then starts its own fresh flight).
+
+        With a :class:`CompileFarm` the leader *dispatches* instead of
+        compiling inline, so distinct keys compile in distinct worker
+        processes — genuinely on distinct cores, no GIL.  With a shared
+        cache directory, leadership extends *across replicas* through
+        advisory TTL markers (see ``KernelCache.claim_leader``).  Both
+        layers are guarded by the per-flight compile-budget watchdog:
+        a follower whose flight outlives ``farm_budget_s`` usurps the
+        presumed-dead leader and reroutes the compile, and a leader
+        waiting on a foreign replica's fresh-but-silent marker reclaims
+        leadership the same way.
         """
         key, ir, jit_cls = self._cache_key_ir(
             inst, flow, target, force_scalar
@@ -622,73 +716,218 @@ class KernelService:
         with obs.span("jit", phase="jit", target=target.name,
                       compiler=jit_cls.name,
                       force_scalar=force_scalar) as sp:
-            if self.cache is not None:
-                ck = self.cache.get(key)
-                if ck is not None:
-                    sp.set(cached=True)
-                    return ck, True, False
-            flight, leader = self._singleflight.begin(key)
-            if not leader:
-                # Follower: coalesce onto the in-flight compile.
-                obs.count("service.singleflight.follower")
-                self._await_flight(flight, deadline)
-                ck = flight.outcome()  # re-raises the leader's failure
-                sp.set(cached=False, coalesced=True)
-                if ck.degraded:
-                    sp.set(degraded=True,
-                           events=[e.cause for e in ck.events])
-                return ck, False, True
-            # Leader path.  Everything below runs under flight ownership;
-            # ``end`` is deferred until *after* the cache put so that any
-            # straggler that missed the cache pre-put either joins this
-            # flight (begin before end) or re-checks the cache below and
-            # hits (begin after end implies put already landed).  Either
-            # way: exactly one compile per key per cohort, deterministic.
-            try:
+            while True:
                 if self.cache is not None:
                     ck = self.cache.get(key)
                     if ck is not None:
-                        # Lost the pre-begin race: a previous leader
-                        # compiled and published between our cache miss
-                        # and our begin().  Serve the artifact and hand
-                        # it to any followers already parked on us.
-                        flight.resolve(ck)
                         sp.set(cached=True)
                         return ck, True, False
-                # Compile outside any global lock: distinct keys compile
-                # genuinely in parallel.
-                obs.count("service.singleflight.leader")
-                try:
-                    ck = jit_cls().compile(
-                        ir, target, force_scalar=force_scalar
+                flight, leader = self._singleflight.begin(key)
+                if leader:
+                    return self._lead_flight(
+                        key, ir, jit_cls, flight, inst, flow, target,
+                        force_scalar, deadline, sp,
                     )
-                except BaseException as exc:
-                    flight.reject(exc)
-                    raise
-                flight.resolve(ck)
-                sp.set(cached=False, compile_seconds=ck.compile_seconds)
-                if ck.degraded:
-                    sp.set(degraded=True,
-                           events=[e.cause for e in ck.events])
-                if self.cache is not None and not self._tainted(ck):
-                    # A failed write (ENOSPC, injected torn write) only
-                    # loses the cache benefit; the freshly compiled
-                    # kernel is still served.  Only the leader ever
-                    # writes: one put per key per cohort.
+                # Follower: coalesce onto the in-flight compile.
+                obs.count("service.singleflight.follower")
+                if self._await_flight(flight, deadline, self.farm_budget_s):
+                    ck = flight.outcome()  # re-raises the leader's failure
+                    sp.set(cached=False, coalesced=True)
+                    if ck.degraded:
+                        sp.set(degraded=True,
+                               events=[e.cause for e in ck.events])
+                    return ck, False, True
+                # Compile-budget watchdog: the flight outlived our
+                # patience without settling — its leader is presumed
+                # crashed or wedged.  Depose it (identity-checked, so a
+                # racing settle wins harmlessly) and loop: we re-check
+                # the cache and then become the new leader, or follow
+                # whoever beat us to it.
+                self._bump("flight_usurps")
+                obs.count("service.singleflight.usurped")
+                self._singleflight.usurp(key, flight)
+
+    def _lead_flight(self, key, ir, jit_cls, flight, inst, flow, target,
+                     force_scalar, deadline, sp):
+        """The leader's whole tenure: recheck, cross-replica claim,
+        compile (farm or inline), publish, cache put.
+
+        Everything below runs under flight ownership; ``end`` is
+        deferred until *after* the cache put so that any straggler that
+        missed the cache pre-put either joins this flight (begin before
+        end) or re-checks the cache and hits (begin after end implies
+        the put already landed).  Either way: exactly one compile per
+        key per cohort, deterministic.  Any exit — including a bug in
+        the dispatch below — settles the flight, so followers are never
+        stranded on a leader that died silently.
+        """
+        token = None
+        try:
+            if self.cache is not None:
+                ck = self.cache.get(key)
+                if ck is not None:
+                    # Lost the pre-begin race: a previous leader
+                    # compiled and published between our cache miss
+                    # and our begin().  Serve the artifact and hand
+                    # it to any followers already parked on us.
+                    flight.resolve(ck)
+                    sp.set(cached=True)
+                    return ck, True, False
+                if self.replica_coalesce:
+                    claimed = self._claim_replica_lead(
+                        key, flight, deadline, sp
+                    )
+                    if not isinstance(claimed, str):
+                        return claimed  # served from a replica's compile
+                    token = claimed
+            # Compile outside any global lock: distinct keys compile
+            # genuinely in parallel (farm workers: on distinct cores).
+            obs.count("service.singleflight.leader")
+            try:
+                ck, envelope = self._jit_compile(
+                    key, ir, jit_cls, inst, flow, target, force_scalar, sp
+                )
+            except BaseException as exc:
+                flight.reject(exc)
+                raise
+            flight.resolve(ck)
+            sp.set(cached=False, compile_seconds=ck.compile_seconds)
+            if ck.degraded:
+                sp.set(degraded=True,
+                       events=[e.cause for e in ck.events])
+            if self.cache is not None and not self._tainted(ck):
+                # A failed write (ENOSPC, injected torn write) only
+                # loses the cache benefit; the freshly compiled
+                # kernel is still served.  Only the leader ever
+                # writes: one put per key per cohort — and a farm
+                # compile persists the worker's exact envelope bytes.
+                if envelope is not None:
+                    self.cache.put_bytes(key, envelope)
+                else:
                     self.cache.put(key, ck)
-                return ck, False, False
-            finally:
-                self._singleflight.end(key, flight)
+            return ck, False, False
+        except BaseException as exc:
+            # Defensive: a failure anywhere in the leader region (cache
+            # recheck, marker I/O, a service bug) must not strand parked
+            # followers on an unsettled flight.
+            if not flight.settled:
+                flight.reject(exc)
+            raise
+        finally:
+            if token is not None and self.cache is not None:
+                self.cache.release_leader(key, token)
+            self._singleflight.end(key, flight)
+
+    #: poll interval while waiting on a foreign replica's leader marker.
+    _MARKER_POLL_S = 0.02
+
+    def _claim_replica_lead(self, key, flight, deadline, sp):
+        """Claim cross-replica leadership, or wait out whoever holds it.
+
+        Returns the marker token (str) once this service owns the
+        compile for ``key`` — possibly after a TTL/budget takeover from
+        a dead replica — or the full ``(ck, True, False)`` result triple
+        when the foreign leader published first and we served its
+        artifact straight from the shared cache.
+        """
+        token = self.cache.claim_leader(key, self.marker_ttl_s)
+        if token is not None:
+            return token
+        # A foreign replica holds a fresh marker: wait-and-read.  Our
+        # patience is the compile budget; past it we forcibly reclaim
+        # leadership (the marker looked fresh but its owner may be
+        # wedged — the watchdog rule is the same as for local flights).
+        self._bump("replica_waits")
+        budget = self.farm_budget_s
+        limit = None if budget is None else time.monotonic() + budget
+        while token is None:
+            time.sleep(self._MARKER_POLL_S)
+            ck = self.cache.get(key)
+            if ck is not None:
+                self._bump("replica_hits")
+                obs.count("farm.replica_hits")
+                flight.resolve(ck)
+                sp.set(cached=True, replica=True)
+                return ck, True, False
+            if deadline is not None:
+                deadline.check("while waiting for a replica's compile")
+            force = limit is not None and time.monotonic() >= limit
+            token = self.cache.claim_leader(
+                key, self.marker_ttl_s, force=force
+            )
+        return token
+
+    def _jit_compile(self, key, ir, jit_cls, inst, flow, target,
+                     force_scalar, sp):
+        """(CompiledKernel, envelope-bytes-or-None) for one compile.
+
+        With a farm, the leader dispatches and gets back the packed VBK1
+        envelope (reused verbatim for the cache put); a *dispatch*
+        failure (worker crash/stall — :class:`FarmError`) falls back to
+        compiling inline, so farm faults cost latency, never answers.  A
+        *compile* failure inside the worker arrives reclassified as the
+        same error the inline path would raise and propagates to the
+        retry/cascade machinery unchanged.
+        """
+        if self._farm is not None:
+            job = CompileJob(
+                key=key, kernel=inst.name, size=inst.size, flow=flow,
+                target=target.name, force_scalar=bool(force_scalar),
+                runner_kwargs=self._runner_config,
+                plan=faults.active_plan(),
+            )
+            self._bump("farm_dispatches")
+            try:
+                envelope = self._farm.compile(job)
+            except FarmError as exc:
+                self._bump("farm_fallbacks")
+                obs.count("farm.inline_fallbacks")
+                sp.set(farm_fallback=exc.kind)
+            else:
+                ck = unpack_kernel(envelope)
+                self._mirror_compile_obs(ck)
+                sp.set(farm=True)
+                return ck, envelope
+        return jit_cls().compile(ir, target, force_scalar=force_scalar), None
 
     @staticmethod
-    def _await_flight(flight, deadline) -> None:
-        """Block on a leader's flight, honouring the follower's deadline."""
-        if deadline is None:
-            flight.wait()
-            return
-        while not flight.wait(timeout=deadline.remaining()):
-            # remaining() clamps at 0.0, so once expired check() raises.
-            deadline.check("while waiting for the coalesced compile")
+    def _mirror_compile_obs(ck) -> None:
+        """Re-emit the ``jit.*`` metrics for a farm compile in *this*
+        process (the worker's own emissions died with its memory), so
+        dashboards and the identical-mix benchmark see exactly one
+        ``jit.compiles`` per cold compile regardless of where it ran."""
+        obs.count("jit.compiles")
+        obs.count("jit.loops_vectorized", ck.stats.get("loops_vectorized", 0))
+        obs.count("jit.loops_scalarized", ck.stats.get("loops_scalarized", 0))
+        obs.count("jit.degradation_events", len(ck.events))
+        if ck.events:
+            obs.count("jit.degraded_compiles")
+        obs.observe("jit.compile_seconds", ck.compile_seconds)
+
+    @staticmethod
+    def _await_flight(flight, deadline, budget_s=None) -> bool:
+        """Block on a leader's flight; True when it settled.
+
+        Honours the follower's own deadline (raising
+        :class:`DeadlineError` on expiry, as before) *and* the per-flight
+        compile budget: False means the budget ran out on an unsettled
+        flight — the caller's cue to usurp the presumed-dead leader
+        instead of waiting forever (deadline-less requests used to hang
+        here if a leader crashed between ``begin`` and ``reject``).
+        """
+        limit = None if budget_s is None else time.monotonic() + budget_s
+        while True:
+            timeout = None if deadline is None else deadline.remaining()
+            if limit is not None:
+                rem = max(0.0, limit - time.monotonic())
+                timeout = rem if timeout is None else min(timeout, rem)
+            if flight.wait(timeout=timeout):
+                return True
+            if deadline is not None:
+                # remaining() clamps at 0.0, so once expired check() raises.
+                deadline.check("while waiting for the coalesced compile")
+            if limit is not None and time.monotonic() >= limit:
+                return False
 
     @staticmethod
     def _tainted(ck) -> bool:

@@ -103,6 +103,7 @@ class SingleFlight:
         #: lifetime counters (exposed by ``KernelService.stats()``).
         self.leaders = 0
         self.followers = 0
+        self.usurped = 0
 
     def begin(self, key) -> tuple[Flight, bool]:
         """(flight, is_leader) for ``key``.
@@ -130,6 +131,26 @@ class SingleFlight:
             if self._inflight.get(key) is flight:
                 del self._inflight[key]
 
+    def usurp(self, key, flight: Flight) -> bool:
+        """Depose a wedged leader: retire ``flight`` *without* settling it.
+
+        The compile-budget watchdog calls this when a follower has waited
+        out its patience on a leader that looks dead (crashed before
+        settling, or wedged mid-compile).  Identity-checked like
+        :meth:`end` — if the table already moved on to a newer flight for
+        the key, this is a no-op.  After a successful usurp the caller
+        loops back through :meth:`begin` and becomes the new leader (or a
+        follower of whoever beat it there); the deposed leader's eventual
+        ``end`` is harmless because it no longer matches.  Returns True
+        when the stale flight was actually removed.
+        """
+        with self._lock:
+            if self._inflight.get(key) is flight:
+                del self._inflight[key]
+                self.usurped += 1
+                return True
+            return False
+
     def inflight(self) -> int:
         """Number of keys currently being computed (for surfaces/tests)."""
         with self._lock:
@@ -140,6 +161,7 @@ class SingleFlight:
             return {
                 "leaders": self.leaders,
                 "followers": self.followers,
+                "usurped": self.usurped,
                 "inflight": len(self._inflight),
             }
 

@@ -135,6 +135,38 @@ def test_service_campaign_deterministic_in_seed():
     ]
 
 
+def test_service_campaign_with_farm_faults():
+    """``--farm-workers`` mixes the farm layers into the seeded draw:
+    worker crash mid-compile (rerouted, no torn entry), worker stall
+    (reclaimed by the compile budget), and stale leader markers (taken
+    over) — the invariant must hold through all of them."""
+    from repro.harness.chaos import FARM_LAYERS, run_service_campaign
+
+    rep = run_service_campaign(n_faults=40, seed=5, farm_workers=2)
+    assert rep.ok, rep.summary()
+    hit = {t.layer for t in rep.trials}
+    assert set(FARM_LAYERS) <= hit
+    outcomes = {t.outcome for t in rep.trials if t.layer in FARM_LAYERS}
+    assert "rerouted" in outcomes
+    assert "marker-takeover" in outcomes
+    assert rep.service_stats["farm"]["rebuilds"] > 0
+
+
+def test_service_campaign_farm_stream_extends_default_stream():
+    """The farm layers join the draw without disturbing the pinned-seed
+    default stream: a farm-less campaign at the same seed is unchanged
+    (bit-for-bit) by the farm feature existing."""
+    from repro.harness.chaos import run_service_campaign
+
+    a = run_service_campaign(n_faults=15, seed=11)
+    b = run_service_campaign(n_faults=15, seed=11, farm_workers=0)
+    assert [
+        (t.layer, t.kernel, t.fault, t.outcome) for t in a.trials
+    ] == [
+        (t.layer, t.kernel, t.fault, t.outcome) for t in b.trials
+    ]
+
+
 @pytest.mark.slow
 def test_harness_layer_quarantines():
     """Worker crash + stall inside a real process pool: the sweep finishes
