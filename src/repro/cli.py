@@ -16,7 +16,9 @@ Commands mirror the toolchain's stages:
 * ``chaos``    — run a seeded fault-injection campaign across every
   layer and assert the fail-soft invariant (see docs/resilience.md).
 * ``serve``    — run the resilient JIT compilation service against a
-  seeded synthetic request stream (see docs/service.md).
+  seeded synthetic request stream, or — with ``--listen HOST:PORT`` —
+  behind the TCP network gateway until SIGTERM, which drains
+  gracefully (see docs/service.md).
 * ``trace``    — render a JSONL trace (from ``--trace-out``) as a
   phase-attributed span tree with wall-time and VM-cycle rollups.
 
@@ -296,12 +298,21 @@ def _cmd_verify(args) -> int:
 def _cmd_chaos(args) -> int:
     import json
 
-    from .harness.chaos import run_campaign, run_service_campaign
+    from .harness.chaos import (
+        run_campaign,
+        run_gateway_campaign,
+        run_service_campaign,
+    )
 
     if args.profile == "service":
         report = run_service_campaign(
             n_faults=args.faults, seed=args.seed, size=args.size,
             farm_workers=args.farm_workers,
+        )
+    elif args.profile == "gateway":
+        report = run_gateway_campaign(
+            n_faults=args.faults, seed=args.seed, size=args.size,
+            farm_workers=args.farm_workers or 2,
         )
     else:
         report = run_campaign(
@@ -333,6 +344,42 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _serve_listen(args, svc) -> int:
+    """``serve --listen``: put the network gateway in front of the
+    service and serve until SIGTERM/SIGINT, then drain gracefully —
+    readiness flips first, in-flight requests finish, the compile farm
+    shuts down, exit 0 (docs/service.md §8)."""
+    import asyncio
+
+    from .service.client import parse_address
+    from .service.gateway import GatewayServer
+
+    host, port = parse_address(args.listen)
+    gw = GatewayServer(
+        svc, host, port,
+        max_inflight=args.max_inflight,
+        idle_timeout_s=args.idle_timeout,
+        drain_grace_s=args.drain_grace,
+        drain_budget_s=args.drain_budget,
+        close_service=True,
+    )
+
+    async def _run() -> None:
+        await gw.start()
+        print(f"gateway listening on {gw.address[0]}:{gw.address[1]} "
+              f"(max_inflight={gw.max_inflight}; SIGTERM drains "
+              f"gracefully)", flush=True)
+        await gw.run_until_signal()
+
+    asyncio.run(_run())
+    stats = gw.stats()
+    print(f"gateway drained: {stats['served']} request(s) served, "
+          f"{stats['rejected_overload']} shed, "
+          f"{stats['rejected_drain']} drain-rejected, "
+          f"{stats['frame_errors']} frame error(s)", flush=True)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Drive the resilient JIT service with a seeded synthetic stream."""
     import json
@@ -361,6 +408,8 @@ def _cmd_serve(args) -> int:
         seed=args.seed,
     )
     try:
+        if args.listen is not None:
+            return _serve_listen(args, svc)
         reqs = [
             ServiceRequest(
                 kernel=rng.choice(kernels),
@@ -515,14 +564,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also inject worker crash/stall into a real "
                    "process-pool sweep (slower)")
     p.add_argument("--profile", default="layers",
-                   choices=["layers", "service"],
+                   choices=["layers", "service", "gateway"],
                    help="'layers' injects into the pipeline stages; "
                    "'service' soaks a live KernelService (cache "
-                   "corruption, torn writes, breaker trips, overload)")
+                   "corruption, torn writes, breaker trips, overload); "
+                   "'gateway' soaks a live network gateway with "
+                   "wire-level hostility (garbage/truncated/slowloris "
+                   "frames, torn connections, overload, wire deadlines) "
+                   "plus a graceful-drain and leaked-worker audit")
     p.add_argument("--farm-workers", type=int, default=0,
                    help="for --profile service: run the soaked service "
                    "with a compile farm and mix in farm faults (worker "
-                   "crash/stall, stale cross-replica leader markers)")
+                   "crash/stall, stale cross-replica leader markers); "
+                   "for --profile gateway the default is 2")
     p.add_argument("--stats-out",
                    help="write the campaign census (and final service "
                    "stats, for --profile service) as JSON")
@@ -552,6 +606,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission-queue bound (requests beyond it shed)")
     p.add_argument("--stats-out",
                    help="write health + stats snapshot as JSON")
+    p.add_argument("--listen", nargs="?", const="127.0.0.1:0",
+                   metavar="HOST:PORT",
+                   help="serve over TCP instead of the synthetic stream: "
+                   "bind the network gateway (port 0 = ephemeral), serve "
+                   "until SIGTERM/SIGINT, then drain gracefully and "
+                   "exit 0")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="gateway backpressure bound: concurrent requests "
+                   "beyond it get an immediate classified shed")
+    p.add_argument("--idle-timeout", type=float, default=30.0,
+                   help="per-read idle timeout reclaiming slowloris "
+                   "connections")
+    p.add_argument("--drain-grace", type=float, default=0.05,
+                   help="seconds readiness answers not-ready before the "
+                   "listener closes on drain")
+    p.add_argument("--drain-budget", type=float, default=10.0,
+                   help="seconds in-flight requests get to finish during "
+                   "drain")
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_serve)
 

@@ -32,6 +32,8 @@ class                      layer / meaning
 ``CircuitOpenError``       service: target short-circuited by its breaker
 ``CacheError``             service: kernel-cache entry unusable (quarantined)
 ``FarmError``              service: compile-farm dispatch failed (rerouted)
+``NetworkError``           gateway wire: framing/CRC/connection/timeout failure
+``DrainError``             gateway: request rejected while draining for shutdown
 ``FaultInjected``          faults: marker mixin for injected failures
 ========================== ==================================================
 
@@ -72,6 +74,8 @@ __all__ = [
     "CircuitOpenError",
     "CacheError",
     "FarmError",
+    "NetworkError",
+    "DrainError",
 ]
 
 
@@ -113,6 +117,8 @@ _HOMES = {
     "CircuitOpenError": "repro.service.breaker",
     "CacheError": "repro.service.cache",
     "FarmError": "repro.service.farm",
+    "NetworkError": "repro.service.wire",
+    "DrainError": "repro.service.gateway",
 }
 
 

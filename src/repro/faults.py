@@ -27,7 +27,17 @@ toolchain:
   :class:`WorkerCrash`/:class:`WorkerStall` faults also fire inside farm
   worker processes (the active plan ships with every
   :class:`~repro.service.farm.CompileJob`), exercising job rerouting
-  after a crashed worker and the per-flight compile-budget watchdog.
+  after a crashed worker and the per-flight compile-budget watchdog;
+* **network gateway** (:mod:`repro.service.gateway`): wire-level faults
+  at the TCP front door.  :class:`ConnDrop` fires inside the gateway's
+  response writer (the connection is aborted mid-frame, as a crashed
+  proxy or flaky link would), exercising the client's torn-response
+  detection and retry/failover; :class:`SlowWire`,
+  :class:`TruncatedFrame`, and :class:`GarbageFrame` describe *hostile
+  client* behavior — the gateway chaos campaign drives real sockets
+  with them (slow-dripped bytes, frames cut short, seeded garbage),
+  exercising the gateway's framing CRC, idle timeouts, and
+  connection hygiene.
 
 A :class:`FaultPlan` is plain picklable data, so it ships to sweep worker
 processes.  Faults are *installed* for a dynamic extent::
@@ -65,6 +75,10 @@ __all__ = [
     "WorkerStall",
     "CacheTornWrite",
     "StaleMarker",
+    "ConnDrop",
+    "SlowWire",
+    "TruncatedFrame",
+    "GarbageFrame",
     "injected",
     "install",
     "uninstall",
@@ -75,6 +89,7 @@ __all__ = [
     "worker_fault",
     "cache_torn_write",
     "stale_marker",
+    "wire_conn_drop",
 ]
 
 
@@ -191,6 +206,60 @@ class StaleMarker:
     count: int | None = 1
 
 
+@dataclass(frozen=True)
+class ConnDrop:
+    """Abort the TCP connection after ``after_bytes`` of a response
+    frame have been written — the wire goes dead mid-response, exactly
+    as a crashed proxy, flaky link, or OOM-killed gateway would leave
+    it.  The client must *detect* the torn frame (CRC / short read) and
+    classify it as a :class:`~repro.service.wire.NetworkError`, never
+    accept a partial response as an answer.  ``count`` bounds how many
+    responses are torn (None = every response under this plan)."""
+
+    after_bytes: int = 8
+    count: int | None = 1
+
+
+@dataclass(frozen=True)
+class SlowWire:
+    """Slowloris: the hostile peer drips bytes ``chunk`` at a time with
+    ``delay_s`` between chunks.  Driven by the gateway chaos campaign's
+    raw-socket client against a live gateway, whose per-read idle
+    timeout must reclaim the connection instead of letting one slow
+    writer pin a handler forever.  ``complete=True`` drips a *valid*
+    frame slowly enough to finish inside the timeout (the gateway must
+    tolerate slow-but-honest peers); ``complete=False`` stalls forever
+    after the dripped prefix (the gateway must cut the connection)."""
+
+    chunk: int = 1
+    delay_s: float = 0.02
+    complete: bool = False
+
+
+@dataclass(frozen=True)
+class TruncatedFrame:
+    """The hostile peer sends a frame cut short at ``keep`` bytes and
+    then closes the connection (``keep=None`` = a seeded-random proper
+    prefix).  The gateway must classify the torn frame and drop the
+    connection cleanly — no handler leak, no half-served request."""
+
+    keep: int | None = None
+
+
+@dataclass(frozen=True)
+class GarbageFrame:
+    """The hostile peer sends bytes that are not a valid frame.
+    ``mode`` picks the corruption: ``"random"`` (seeded noise),
+    ``"bad-magic"``, ``"bad-crc"`` (valid header, flipped payload CRC),
+    or ``"bad-length"`` (adversarial length field far beyond the frame
+    limit — must be rejected *before* any allocation).  The gateway
+    must answer with a classified error frame where framing allows and
+    close the connection, never crash or wedge."""
+
+    mode: str = "random"
+    nbytes: int | None = None
+
+
 def _match(pattern: str, value: str) -> bool:
     return pattern == "*" or pattern == value
 
@@ -303,6 +372,24 @@ class FaultPlan:
         :class:`StaleMarker` (re-armed per install)."""
         return self._make_counted_hook(StaleMarker)
 
+    # -- gateway wire layer ---------------------------------------------------
+
+    def make_conn_drop_hook(self):
+        """A fresh countdown closure for the plan's first
+        :class:`ConnDrop` (re-armed per install)."""
+        return self._make_counted_hook(ConnDrop)
+
+    def wire_client_fault(self):
+        """The plan's hostile-client wire fault
+        (:class:`SlowWire`/:class:`TruncatedFrame`/:class:`GarbageFrame`),
+        or None.  Read by the gateway chaos campaign's raw-socket
+        driver, not by an in-process injection point: these faults live
+        on the *peer's* side of the wire."""
+        for f in self.faults:
+            if isinstance(f, (SlowWire, TruncatedFrame, GarbageFrame)):
+                return f
+        return None
+
     def _make_counted_hook(self, cls):
         found = self._of(cls)
         if not found:
@@ -346,37 +433,47 @@ torn_write_hook = None
 #: stale-marker hook consulted by the cache's cross-replica leader claim.
 stale_marker_hook = None
 
+#: connection-drop hook consulted by the gateway's response writer.
+conn_drop_hook = None
+
 
 def install(plan: FaultPlan) -> FaultPlan:
-    """Install ``plan``; arms fresh memory-fault/torn-write/stale-marker
-    countdowns."""
+    """Install ``plan``; arms fresh memory-fault/torn-write/stale-marker/
+    connection-drop countdowns."""
     global _ACTIVE, mem_hook, torn_write_hook, stale_marker_hook
+    global conn_drop_hook
     _ACTIVE = plan
     mem_hook = plan.make_mem_hook()
     torn_write_hook = plan.make_torn_write_hook()
     stale_marker_hook = plan.make_stale_marker_hook()
+    conn_drop_hook = plan.make_conn_drop_hook()
     return plan
 
 
 def uninstall() -> None:
     """Remove any installed plan; every injection point goes dormant."""
     global _ACTIVE, mem_hook, torn_write_hook, stale_marker_hook
+    global conn_drop_hook
     _ACTIVE = None
     mem_hook = None
     torn_write_hook = None
     stale_marker_hook = None
+    conn_drop_hook = None
 
 
 @contextmanager
 def injected(plan: FaultPlan):
     """Install ``plan`` for the duration of the ``with`` block."""
     global _ACTIVE, mem_hook, torn_write_hook, stale_marker_hook
-    prev = (_ACTIVE, mem_hook, torn_write_hook, stale_marker_hook)
+    global conn_drop_hook
+    prev = (_ACTIVE, mem_hook, torn_write_hook, stale_marker_hook,
+            conn_drop_hook)
     install(plan)
     try:
         yield plan
     finally:
-        _ACTIVE, mem_hook, torn_write_hook, stale_marker_hook = prev
+        (_ACTIVE, mem_hook, torn_write_hook, stale_marker_hook,
+         conn_drop_hook) = prev
 
 
 def active_plan() -> FaultPlan | None:
@@ -421,3 +518,9 @@ def stale_marker():
     should sabotage this cross-replica claim under the active plan, or
     None."""
     return None if stale_marker_hook is None else stale_marker_hook()
+
+
+def wire_conn_drop():
+    """Gateway injection point: the :class:`ConnDrop` that should tear
+    this response's connection under the active plan, or None."""
+    return None if conn_drop_hook is None else conn_drop_hook()

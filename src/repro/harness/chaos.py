@@ -48,11 +48,25 @@ byte-identical to a cold no-cache run, degraded/stale responses carry
 their :class:`~repro.jit.materialize.DegradationEvent` chain, rejections
 carry a closed-taxonomy tag, and corrupt/torn cache entries are
 quarantined and recompiled, never served.
+
+**Gateway soak profile** (:func:`run_gateway_campaign`, CLI ``repro chaos
+--profile gateway``): the invariant moves out to the *network front
+door* — a live :class:`~repro.service.gateway.ThreadedGateway` fronting
+a farm-backed service absorbs seeded wire-level hostility (garbage
+frames, truncated frames, slowloris drips, connections torn mid-response
+by :class:`~repro.faults.ConnDrop`) alongside overload bursts, expired
+wire deadlines, and in-service JIT/VM faults, while three gateway-grade
+guarantees hold: **zero torn responses** (every answer a client accepts
+reproduces the cold reference bit-for-bit; every partial frame is
+classified), **zero unclassified errors** (every rejection carries a
+closed-taxonomy tag), and **zero leaked farm workers** (after the drain
+epilogue and service close, no compile worker PID survives).
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 
 from .. import faults
@@ -68,9 +82,11 @@ __all__ = [
     "ChaosReport",
     "run_campaign",
     "run_service_campaign",
+    "run_gateway_campaign",
     "LAYERS",
     "SERVICE_LAYERS",
     "FARM_LAYERS",
+    "GATEWAY_LAYERS",
 ]
 
 #: injection layers with their campaign weights.
@@ -78,9 +94,12 @@ LAYERS = ("bytecode", "jit-lowering", "jit-materialize", "vm-mem",
           "vm-misalign")
 _WEIGHTS = (40, 20, 5, 20, 15)
 
-#: failing outcome tags (anything else passes).
+#: failing outcome tags (anything else passes).  ``torn-response`` (a
+#: partial or corrupted wire frame accepted as an answer) and
+#: ``leaked-workers`` (farm processes outliving their service) belong to
+#: the gateway profile's invariant.
 FAILING = ("silent-wrong", "wrong-answer", "unclassified-trap",
-           "parity-mismatch")
+           "parity-mismatch", "torn-response", "leaked-workers")
 
 _DEFAULT_KERNELS = ("saxpy_fp", "dscal_fp", "interp_fp", "sfir_fp")
 _IDIOMS = ("*", "realign_load", "vstore", "reduc_plus", "init_uniform")
@@ -823,6 +842,605 @@ def run_service_campaign(
         report.trials.append(soak.breaker_cycle())
         report.trials.append(soak.stale_serve())
         report.service_stats = soak.svc.stats()
+    finally:
+        soak.close()
+        if own_dir:
+            shutil.rmtree(root, ignore_errors=True)
+    return report
+
+
+# -- the gateway soak profile --------------------------------------------------
+
+#: gateway-profile fault layers with their campaign weights.
+GATEWAY_LAYERS = (
+    "gw-plain", "gw-garbage", "gw-truncated", "gw-slowloris",
+    "gw-conn-drop", "gw-overload", "gw-deadline", "gw-jit-fault",
+)
+_GATEWAY_WEIGHTS = (30, 10, 10, 8, 12, 8, 10, 12)
+
+
+def _pid_alive(pid: int) -> bool:
+    import os
+
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+class _GatewaySoak:
+    """State of one gateway soak: a live farm-backed service behind a
+    live :class:`~repro.service.gateway.ThreadedGateway`, one resilient
+    client, one no-retry client, and raw-socket hostile peers."""
+
+    def __init__(self, seed: int, size: int, cache_dir: str,
+                 farm_workers: int = 2) -> None:
+        from ..service import GatewayClient, KernelService, ThreadedGateway
+
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.size = size
+        self.svc = KernelService(
+            cache_dir=cache_dir, seed=seed, retries=1, backoff_base=0.0,
+            breaker_threshold=4, breaker_cooldown=3, queue_limit=16,
+            workers=4, farm_workers=farm_workers, farm_budget_s=10.0,
+        )
+        # A short idle timeout keeps the slowloris trials sub-second;
+        # drain_grace_s=0 because readiness-vs-listener ordering is the
+        # drain epilogue's (and the unit tests') job, not the soak's.
+        self.gw = ThreadedGateway(
+            self.svc, max_inflight=8, idle_timeout_s=0.35,
+            drain_grace_s=0.0, drain_budget_s=10.0,
+        )
+        self.addr = self.gw.address
+        self.client = GatewayClient(
+            [self.addr], retries=2, backoff_base=0.001, backoff_cap=0.01,
+            seed=seed,
+        )
+        self.fast = GatewayClient([self.addr], retries=0, seed=seed + 1)
+        self.ref_runner = FlowRunner()
+        self._refs: dict = {}
+
+    def close(self) -> None:
+        self.client.close()
+        self.fast.close()
+        self.gw.close()
+        self.svc.close()
+
+    # -- shared plumbing -------------------------------------------------------
+
+    def _payload(self, kernel: str, **over) -> dict:
+        return {
+            "op": "compile",
+            "kernel": kernel,
+            "flow": over.get("flow", self.rng.choice(_FLOWS)),
+            "target": over.get("target", self.rng.choice(_TARGETS)),
+            "size": self.size,
+        }
+
+    def reference(self, kernel: str, flow: str, target: str):
+        """Cold no-cache (cycles, value), computed outside any fault."""
+        key = (kernel, flow, target, self.size)
+        if key not in self._refs:
+            inst = get_kernel(kernel).instantiate(self.size)
+            r = self.ref_runner.run(inst, flow, target)
+            self._refs[key] = (r.cycles, r.value)
+        return self._refs[key]
+
+    def judge(self, layer: str, fault: str, req: dict,
+              resp: dict) -> ChaosTrial:
+        """Classify a wire response payload against the invariant.
+
+        The gateway-grade twist on :meth:`_ServiceSoak.judge`: an ``ok``
+        result whose cycles/value diverge from the cold reference is a
+        **torn response** — the wire changed the answer."""
+        kernel = req.get("kernel", "?")
+        error = resp.get("error")
+        if error is not None and str(error).startswith("unclassified"):
+            return ChaosTrial(layer, kernel, fault, "unclassified-trap",
+                              str(error))
+        status = resp.get("status")
+        result = resp.get("result")
+        if result is not None:
+            if not result.get("checked") and status != "stale":
+                return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                                  "result served without checking")
+            if status == "ok":
+                cycles, value = self.reference(
+                    kernel, resp["flow"], resp["target"]
+                )
+                if result["cycles"] != cycles or result["value"] != value:
+                    return ChaosTrial(
+                        layer, kernel, fault, "torn-response",
+                        f"wire result {result['cycles']}/{result['value']} "
+                        f"diverged from cold reference {cycles}/{value}",
+                    )
+                return ChaosTrial(layer, kernel, fault, "correct",
+                                  "warm-cache" if resp.get("from_cache")
+                                  else "")
+            if status in ("stale", "degraded"):
+                if not resp.get("events"):
+                    return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                                      f"{status} response without its "
+                                      f"event chain")
+                tag = ("served-stale" if status == "stale"
+                       else "degraded-correct")
+                return ChaosTrial(layer, kernel, fault, tag, "; ".join(
+                    e["cause"] for e in resp["events"]
+                ))
+        if status == "shed":
+            return ChaosTrial(layer, kernel, fault, "shed", error or "")
+        if status == "rejected":
+            if error is None:
+                return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                                  "rejected without a classified tag")
+            return ChaosTrial(layer, kernel, fault, "trapped", str(error))
+        return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                          f"unknown response status {status!r}")
+
+    # -- raw-socket hostile peer ----------------------------------------------
+
+    def _raw_reply(self, sock, timeout: float = 5.0):
+        """Read one reply frame: ``(payload, torn)`` — ``(None, False)``
+        is a clean close with no reply, ``(None, True)`` a torn one."""
+        import socket as _socket
+
+        from ..service.wire import (
+            HEADER_LEN, NetworkError, check_header, decode_frame,
+        )
+
+        sock.settimeout(timeout)
+
+        def rd(n: int) -> bytes:
+            buf = b""
+            while len(buf) < n:
+                try:
+                    chunk = sock.recv(n - len(buf))
+                except (_socket.timeout, OSError):
+                    return buf
+                if not chunk:
+                    return buf
+                buf += chunk
+            return buf
+
+        header = rd(HEADER_LEN)
+        if not header:
+            return None, False
+        try:
+            if len(header) < HEADER_LEN:
+                raise NetworkError("truncated", "short reply header")
+            _ms, length = check_header(header)
+            payload, _dl = decode_frame(header + rd(length + 4))
+            return payload, False
+        except NetworkError:
+            return None, True
+
+    def _raw_send(self, chunks, delay_s: float = 0.0, timeout: float = 5.0):
+        """Open a raw connection, send ``chunks`` (optionally dripped),
+        then read one reply.  Returns ``(payload, torn)``."""
+        import socket as _socket
+
+        sock = _socket.create_connection(self.addr, timeout=timeout)
+        try:
+            try:
+                for i, chunk in enumerate(chunks):
+                    if i and delay_s:
+                        time.sleep(delay_s)
+                    sock.sendall(chunk)
+            except OSError:
+                pass  # the gateway cut us off early — also an answer
+            return self._raw_reply(sock, timeout=timeout)
+        finally:
+            sock.close()
+
+    def _liveness(self, layer: str, kernel: str, fault: str):
+        """The gateway must still answer after hostile bytes."""
+        self.fast._drop_connection()  # probe on a fresh connection
+        try:
+            if self.fast.ready():
+                return None
+            detail = "gateway reports not-ready"
+        except Exception as exc:  # noqa: BLE001 - census, not control flow
+            detail = f"liveness probe failed: {exc}"
+        return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                          f"gateway wedged after hostile bytes ({detail})")
+
+    # -- trial kinds ----------------------------------------------------------
+
+    def plain(self, kernel: str) -> ChaosTrial:
+        req = self._payload(kernel)
+        resp = self.client.request(req, deadline_s=60.0)
+        return self.judge("gw-plain", "none", req, resp)
+
+    def garbage(self, kernel: str) -> ChaosTrial:
+        from ..service import wire
+
+        mode = self.rng.choice(
+            ("random", "bad-magic", "bad-crc", "bad-length")
+        )
+        fault = faults.GarbageFrame(mode=mode)
+        good = wire.encode_frame({"op": "ready"})
+        if mode == "bad-magic":
+            data = b"XGW0" + good[4:]
+        elif mode == "bad-crc":
+            data = good[:-1] + bytes([good[-1] ^ 0x5A])
+        elif mode == "bad-length":
+            # An adversarial length field: must be rejected before any
+            # payload allocation, so a tiny body is all we ever send.
+            data = wire._HEADER.pack(
+                wire.MAGIC, wire.VERSION, wire.NO_DEADLINE,
+                wire.MAX_PAYLOAD + 1,
+            ) + b"\x00" * 8
+        else:
+            n = self.rng.randrange(16, 64)
+            data = bytes(self.rng.getrandbits(8) for _ in range(n))
+            if data[:4] == wire.MAGIC:  # astronomically unlikely; be sure
+                data = b"\xff" + data[1:]
+        reply, torn = self._raw_send([data])
+        alive = self._liveness("gw-garbage", kernel, repr(fault))
+        if alive is not None:
+            return alive
+        if torn:
+            return ChaosTrial("gw-garbage", kernel, repr(fault),
+                              "torn-response", "garbled error reply")
+        if reply is None:
+            return ChaosTrial("gw-garbage", kernel, repr(fault),
+                              "conn-closed", "dropped without a reply")
+        if reply.get("status") == "rejected" and (
+            reply.get("error") == "NetworkError"
+        ):
+            return ChaosTrial("gw-garbage", kernel, repr(fault), "trapped",
+                              f"NetworkError ({mode})")
+        return ChaosTrial("gw-garbage", kernel, repr(fault), "silent-wrong",
+                          f"garbage answered with {reply.get('status')}/"
+                          f"{reply.get('error')}")
+
+    def truncated(self, kernel: str) -> ChaosTrial:
+        import socket as _socket
+
+        from ..service import wire
+
+        good = wire.encode_frame(self._payload(kernel), deadline_s=5.0)
+        keep = self.rng.randrange(1, len(good) - 1)
+        fault = faults.TruncatedFrame(keep=keep)
+        sock = _socket.create_connection(self.addr, timeout=5.0)
+        try:
+            sock.sendall(good[:keep])
+            sock.shutdown(_socket.SHUT_WR)  # EOF mid-frame, reply readable
+            reply, torn = self._raw_reply(sock)
+        finally:
+            sock.close()
+        alive = self._liveness("gw-truncated", kernel, repr(fault))
+        if alive is not None:
+            return alive
+        if torn:
+            return ChaosTrial("gw-truncated", kernel, repr(fault),
+                              "torn-response", "garbled error reply")
+        if reply is None:
+            return ChaosTrial("gw-truncated", kernel, repr(fault),
+                              "conn-closed", f"cut at {keep}B, clean close")
+        if reply.get("status") == "rejected" and (
+            reply.get("error") == "NetworkError"
+        ):
+            return ChaosTrial("gw-truncated", kernel, repr(fault), "trapped",
+                              f"NetworkError after {keep}B prefix")
+        return ChaosTrial("gw-truncated", kernel, repr(fault),
+                          "silent-wrong",
+                          f"truncated frame answered with "
+                          f"{reply.get('status')}/{reply.get('error')}")
+
+    def slowloris(self, kernel: str) -> ChaosTrial:
+        from ..service import wire
+
+        req = self._payload(kernel)
+        frame = wire.encode_frame(req, deadline_s=30.0)
+        honest = self.rng.random() < 0.4
+        if honest:
+            # Slow but honest: the whole frame arrives, dripped well
+            # inside the idle timeout — the gateway must serve it.
+            fault = faults.SlowWire(chunk=32, delay_s=0.01, complete=True)
+            chunks = [frame[i:i + 32] for i in range(0, len(frame), 32)]
+            reply, torn = self._raw_send(chunks, delay_s=0.01)
+            if torn:
+                return ChaosTrial("gw-slowloris", kernel, repr(fault),
+                                  "torn-response", "garbled reply")
+            if reply is None:
+                return ChaosTrial("gw-slowloris", kernel, repr(fault),
+                                  "silent-wrong",
+                                  "honest slow frame got no reply")
+            return self.judge("gw-slowloris", repr(fault), req, reply)
+        # Stalling peer: a prefix, then silence — the idle timeout must
+        # reclaim the connection instead of pinning it open forever.
+        fault = faults.SlowWire(chunk=7, complete=False)
+        start = time.perf_counter()
+        reply, torn = self._raw_send([frame[:7]])
+        elapsed = time.perf_counter() - start
+        alive = self._liveness("gw-slowloris", kernel, repr(fault))
+        if alive is not None:
+            return alive
+        if torn:
+            return ChaosTrial("gw-slowloris", kernel, repr(fault),
+                              "torn-response", "garbled timeout reply")
+        if reply is not None and not (
+            reply.get("status") == "rejected"
+            and reply.get("error") == "NetworkError"
+        ):
+            return ChaosTrial("gw-slowloris", kernel, repr(fault),
+                              "silent-wrong",
+                              f"stalled peer answered with "
+                              f"{reply.get('status')}/{reply.get('error')}")
+        return ChaosTrial("gw-slowloris", kernel, repr(fault),
+                          "timeout-reclaimed",
+                          f"connection reclaimed in {elapsed:.2f}s")
+
+    def conn_drop(self, kernel: str) -> ChaosTrial:
+        after = self.rng.randrange(1, 48)
+        fault = faults.ConnDrop(after_bytes=after, count=1)
+        req = self._payload(kernel)
+        before = self.client.wire_errors
+        with faults.injected(faults.FaultPlan([fault])):
+            resp = self.client.request(req, deadline_s=60.0)
+        trial = self.judge("gw-conn-drop", repr(fault), req, resp)
+        if not trial.ok:
+            return trial
+        if self.client.wire_errors <= before:
+            return ChaosTrial("gw-conn-drop", kernel, repr(fault),
+                              "silent-wrong", "conn drop did not fire")
+        return ChaosTrial(
+            "gw-conn-drop", kernel, repr(fault), "retried-through",
+            f"response torn at {after}B, classified and retried "
+            f"({trial.outcome})",
+        )
+
+    def overload(self, kernel: str) -> ChaosTrial:
+        req = self._payload(kernel)
+        gw = self.gw.gateway
+        # Saturate the gateway's inflight gauge (the campaign is serial,
+        # so nothing else is touching it), observe a fast classified
+        # shed, then release and observe recovery.
+        gw._inflight += gw.max_inflight
+        try:
+            resp = self.fast.request(req, deadline_s=10.0)
+        finally:
+            gw._inflight -= gw.max_inflight
+        if resp.get("status") != "shed" or (
+            resp.get("error") != "OverloadError"
+        ):
+            return ChaosTrial(
+                "gw-overload", kernel, "inflight-saturation",
+                "silent-wrong",
+                f"expected a classified shed, got {resp.get('status')}/"
+                f"{resp.get('error')}",
+            )
+        resp2 = self.client.request(req, deadline_s=60.0)
+        trial2 = self.judge("gw-overload", "inflight-saturation", req, resp2)
+        if not trial2.ok:
+            return trial2
+        return ChaosTrial("gw-overload", kernel, "inflight-saturation",
+                          "shed", "shed while saturated, served after")
+
+    def deadline(self, kernel: str) -> ChaosTrial:
+        from ..service import wire
+
+        # A 1 ms budget in the frame header: the wire deadline must land
+        # in the service, which rejects with DeadlineError (or, rarely,
+        # serves inside the millisecond / trips an already-open breaker).
+        req = self._payload(kernel)
+        reply, torn = self._raw_send(
+            [wire.encode_frame(req, deadline_s=0.001)]
+        )
+        fault = "wire-deadline=1ms"
+        if torn:
+            return ChaosTrial("gw-deadline", kernel, fault, "torn-response",
+                              "garbled reply")
+        if reply is None:
+            return ChaosTrial("gw-deadline", kernel, fault, "silent-wrong",
+                              "no reply to a deadlined request")
+        trial = self.judge("gw-deadline", fault, req, reply)
+        if trial.outcome == "trapped" and reply.get("error") not in (
+            "DeadlineError", "CircuitOpenError"
+        ):
+            return ChaosTrial(
+                "gw-deadline", kernel, fault, "silent-wrong",
+                f"expected DeadlineError, got {reply.get('error')}",
+            )
+        return trial
+
+    def jit_fault(self, kernel: str) -> ChaosTrial:
+        """An in-service fault observed *through* the wire: the response
+        must carry the same classified degradation story it would
+        in-process."""
+        if self.rng.random() < 0.5:
+            fault = faults.MemFault(after=self.rng.randrange(1, 60))
+        else:
+            fault = faults.LoweringFault(idiom=self.rng.choice(_IDIOMS),
+                                         target="*")
+        req = self._payload(kernel)
+        with faults.injected(faults.FaultPlan([fault])):
+            resp = self.client.request(req, deadline_s=60.0)
+        return self.judge("gw-jit-fault", repr(fault), req, resp)
+
+    # -- scripted epilogue trials ---------------------------------------------
+
+    def drain_trial(self) -> ChaosTrial:
+        """Graceful drain on a fresh gateway: readiness flips first, a
+        late request gets a classified DrainError, the in-flight request
+        completes with a whole response, and post-drain connections are
+        refused."""
+        import threading
+
+        from ..service import (
+            GatewayClient, KernelService, NetworkError, ThreadedGateway,
+        )
+
+        svc2 = KernelService(cache_dir=None, seed=self.seed, workers=2,
+                             farm_workers=0)
+        gw2 = ThreadedGateway(svc2, drain_grace_s=0.4, drain_budget_s=15.0,
+                              close_service=True)
+        addr = gw2.address
+        bg: dict = {}
+
+        def inflight_request() -> None:
+            c = GatewayClient([addr], retries=0, seed=self.seed + 7)
+            try:
+                # Cold compile on a no-cache service: long enough to
+                # still be in flight when the drain lands.
+                bg["resp"] = c.request(
+                    self._payload("gemm_fp", flow="split_vec_gcc4cli",
+                                  target="sse"),
+                    deadline_s=60.0,
+                )
+            except Exception as exc:  # noqa: BLE001 - judged below
+                bg["exc"] = exc
+            finally:
+                c.close()
+
+        worker = threading.Thread(target=inflight_request)
+        worker.start()
+        waited = 0.0
+        while (gw2.stats()["inflight"] == 0 and not bg and waited < 5.0):
+            time.sleep(0.005)
+            waited += 0.005
+        drainer = threading.Thread(target=gw2.drain)
+        drainer.start()
+        time.sleep(0.05)  # let the drain coroutine flip the state
+        # Inside the grace window the listener still accepts: readiness
+        # must already answer False and compiles must already be
+        # rejected with a classified DrainError.
+        late_ready: bool | None = None
+        late_resp: dict | None = None
+        late = GatewayClient([addr], retries=0, seed=self.seed + 8)
+        try:
+            late_ready = late.ready(deadline_s=5.0)
+            late_resp = late.request(self._payload("saxpy_fp"),
+                                     deadline_s=5.0)
+        except Exception:  # noqa: BLE001 - the grace window may close
+            pass
+        finally:
+            late.close()
+        worker.join(timeout=60.0)
+        drainer.join(timeout=60.0)
+        refused = False
+        try:
+            probe = GatewayClient([addr], retries=0, seed=self.seed + 9)
+            try:
+                probe.ready(deadline_s=2.0)
+            finally:
+                probe.close()
+        except NetworkError:
+            refused = True
+        gw2.close()
+        svc2.close()
+        fault = "SIGTERM-equivalent drain"
+        if "exc" in bg:
+            return ChaosTrial("gw-drain", "gemm_fp", fault, "torn-response",
+                              f"in-flight request died in the drain: "
+                              f"{bg['exc']}")
+        if "resp" not in bg:
+            return ChaosTrial("gw-drain", "gemm_fp", fault, "silent-wrong",
+                              "in-flight request never completed")
+        trial = self.judge("gw-drain", fault,
+                           self._payload("gemm_fp", flow="split_vec_gcc4cli",
+                                         target="sse"), bg["resp"])
+        if not trial.ok:
+            return trial
+        if late_ready is True:
+            return ChaosTrial("gw-drain", "gemm_fp", fault, "silent-wrong",
+                              "readiness still True after drain began")
+        if late_resp is not None and not (
+            late_resp.get("status") == "rejected"
+            and late_resp.get("error") == "DrainError"
+        ):
+            return ChaosTrial(
+                "gw-drain", "gemm_fp", fault, "silent-wrong",
+                f"late request got {late_resp.get('status')}/"
+                f"{late_resp.get('error')}, wanted a DrainError rejection",
+            )
+        if not refused:
+            return ChaosTrial("gw-drain", "gemm_fp", fault, "silent-wrong",
+                              "gateway still accepting after drain closed")
+        return ChaosTrial(
+            "gw-drain", "gemm_fp", fault, "drained-clean",
+            "in-flight completed whole; late request classified; "
+            "listener closed",
+        )
+
+    def leaked_workers_trial(self) -> ChaosTrial:
+        """Close the whole stack; every farm worker PID must be dead."""
+        pids = self.svc.farm_worker_pids()
+        self.close()
+        deadline = time.perf_counter() + 10.0
+        alive = [p for p in pids if _pid_alive(p)]
+        while alive and time.perf_counter() < deadline:
+            time.sleep(0.05)
+            alive = [p for p in pids if _pid_alive(p)]
+        if alive:
+            return ChaosTrial("gw-shutdown", "*", "stack close",
+                              "leaked-workers",
+                              f"farm PIDs {alive} survived service close")
+        return ChaosTrial("gw-shutdown", "*", "stack close", "farm-reaped",
+                          f"all {len(pids)} farm workers dead after close")
+
+
+def run_gateway_campaign(
+    n_faults: int = 200,
+    seed: int = 0,
+    kernels=_DEFAULT_KERNELS,
+    size: int = 16,
+    cache_dir: str | None = None,
+    farm_workers: int = 2,
+) -> ChaosReport:
+    """Soak a live gateway-fronted service with ``n_faults`` seeded
+    wire-and-service faults; returns the outcome census with gateway and
+    service stats attached.
+
+    The fault stream is deterministic in ``seed``; trial outcomes are
+    wall-clock tolerant (a deadline that is rarely met in time is still
+    a passing, classified outcome).  Ends with two scripted epilogues:
+    the graceful-drain trial and the leaked-workers audit — the
+    invariant of ISSUE 7: zero torn responses, zero unclassified errors,
+    zero leaked farm workers.
+    """
+    import shutil
+    import tempfile
+
+    rng = random.Random(seed)
+    kernels = tuple(kernels)
+    own_dir = cache_dir is None
+    root = cache_dir or tempfile.mkdtemp(prefix="repro-gw-chaos-")
+    soak = _GatewaySoak(seed, size, root, farm_workers=int(farm_workers))
+    report = ChaosReport(seed=seed)
+    try:
+        for _ in range(int(n_faults)):
+            layer = rng.choices(GATEWAY_LAYERS,
+                                weights=_GATEWAY_WEIGHTS)[0]
+            kernel = rng.choice(kernels)
+            if layer == "gw-plain":
+                t = soak.plain(kernel)
+            elif layer == "gw-garbage":
+                t = soak.garbage(kernel)
+            elif layer == "gw-truncated":
+                t = soak.truncated(kernel)
+            elif layer == "gw-slowloris":
+                t = soak.slowloris(kernel)
+            elif layer == "gw-conn-drop":
+                t = soak.conn_drop(kernel)
+            elif layer == "gw-overload":
+                t = soak.overload(kernel)
+            elif layer == "gw-deadline":
+                t = soak.deadline(kernel)
+            else:
+                t = soak.jit_fault(kernel)
+            report.trials.append(t)
+        report.service_stats = {
+            "service": soak.svc.stats(),
+            "gateway": soak.gw.stats(),
+        }
+        report.trials.append(soak.drain_trial())
+        report.trials.append(soak.leaked_workers_trial())
     finally:
         soak.close()
         if own_dir:

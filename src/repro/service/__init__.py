@@ -5,6 +5,12 @@ long-running, multi-threaded compile/run service with a crash-safe
 persistent kernel cache, bounded admission + load shedding, per-target
 circuit breakers, per-request deadlines, and a strictly ordered
 degradation cascade — never a silent wrong answer, never a traceback.
+
+The network front door lives alongside it: ``GatewayServer`` (an
+asyncio TCP listener speaking the CRC-framed wire protocol of
+:mod:`repro.service.wire`) and ``GatewayClient`` (a blocking client
+with retries, failover, and deadline propagation) — see
+docs/service.md §8.
 """
 
 from .admission import AdmissionQueue, Deadline, DeadlineError, OverloadError
@@ -16,13 +22,21 @@ from .cache import (
     TOOLCHAIN_VERSION,
     atomic_write,
 )
+from .client import GatewayClient
 from .core import KernelService, ServiceRequest, ServiceResponse
 from .farm import CompileFarm, CompileJob, FarmError
+from .gateway import DrainError, GatewayServer, ThreadedGateway
+from .wire import NetworkError
 
 __all__ = [
     "KernelService",
     "ServiceRequest",
     "ServiceResponse",
+    "GatewayServer",
+    "ThreadedGateway",
+    "GatewayClient",
+    "NetworkError",
+    "DrainError",
     "CompileFarm",
     "CompileJob",
     "FarmError",

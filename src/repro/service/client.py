@@ -1,0 +1,293 @@
+"""The resilient gateway client: retries, failover, deadline budget.
+
+The other half of the wire contract (:mod:`repro.service.wire`): a
+blocking client built for the fail-soft story the gateway exports —
+
+* **classified failures** — every wire problem surfaces as a
+  :class:`~repro.service.wire.NetworkError` with a machine-readable
+  ``kind`` (connect/reset/timeout/truncated/bad-crc/...), never a raw
+  ``OSError`` from inside socket code;
+* **jittered-backoff retries** — transient wire failures are retried
+  with the toolchain's shared
+  :func:`~repro.harness.parallel.backoff_delay` (the same curve the
+  service's own retry loop uses), seeded for deterministic campaigns;
+* **failover across replicas** — a shed (``OverloadError``), a drain
+  rejection (``DrainError``), or a dead connection rotates to the next
+  address in the replica list; fast classified rejections exist exactly
+  so callers can retry *elsewhere* cheaply;
+* **deadline awareness** — one budget covers the whole ``request()``
+  call: each attempt's socket timeout is clipped to the remaining
+  budget, the *remaining* (not original) budget rides the frame header
+  of every attempt, backoff sleeps never overrun it, and an exhausted
+  budget raises a classified
+  :class:`~repro.service.admission.DeadlineError` instead of burning a
+  retry that cannot finish.
+
+A torn response (connection cut mid-frame, CRC mismatch) is always
+*detected* — the CRC trailer covers header and payload — and counts as
+a transient wire failure: the client retries, and never, under any
+interleaving the chaos campaign can find, hands a partial frame to the
+caller as an answer.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+
+from ..harness.parallel import backoff_delay
+from .admission import Deadline, DeadlineError
+from .wire import (
+    HEADER_LEN,
+    NetworkError,
+    check_frame,
+    check_header,
+    decode_payload,
+    encode_frame,
+)
+
+__all__ = ["GatewayClient", "parse_address"]
+
+
+def parse_address(addr) -> tuple[str, int]:
+    """``"host:port"`` or ``(host, port)`` -> ``(host, port)``."""
+    if isinstance(addr, str):
+        host, sep, port = addr.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ValueError(f"address {addr!r} is not HOST:PORT")
+        return (host or "127.0.0.1", int(port))
+    host, port = addr
+    return (str(host), int(port))
+
+
+class GatewayClient:
+    """A blocking client for one or more gateway replicas.
+
+    ``addresses`` is an ordered replica list; the client sticks to one
+    connection while it works and rotates on failure.  ``retries`` is
+    the number of *additional* attempts after the first (each attempt
+    may land on a different replica).  ``attempt_timeout_s`` bounds any
+    single socket operation; the per-request ``deadline_s`` bounds the
+    whole call, retries and backoff included.
+    """
+
+    def __init__(
+        self,
+        addresses,
+        *,
+        retries: int = 2,
+        backoff_base: float = 0.02,
+        backoff_cap: float = 0.5,
+        attempt_timeout_s: float | None = 10.0,
+        connect_timeout_s: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        if isinstance(addresses, (str, tuple)):
+            addresses = [addresses]
+        self.addresses = [parse_address(a) for a in addresses]
+        if not self.addresses:
+            raise ValueError("need at least one gateway address")
+        self.retries = int(retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.attempt_timeout_s = attempt_timeout_s
+        self.connect_timeout_s = float(connect_timeout_s)
+        self._rng = random.Random(seed)
+        self._sock: socket.socket | None = None
+        self._sock_addr: tuple[str, int] | None = None
+        self._addr_index = 0
+        self.attempts = 0
+        self.failovers = 0
+        self.wire_errors = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._sock_addr = None
+
+    # -- request API ----------------------------------------------------------
+
+    def request(self, payload: dict, deadline_s: float | None = None) -> dict:
+        """Send one request, riding out transient wire failures.
+
+        Returns the response payload dict (status ``ok``/``degraded``/
+        ``stale``/``shed``/``rejected`` — a shed or drain rejection is
+        returned only after failover attempts are exhausted).  Raises
+        :class:`NetworkError` when every attempt died on the wire and
+        :class:`DeadlineError` when the budget expired first.
+        """
+        deadline = Deadline(deadline_s)
+        last_exc: Exception | None = None
+        last_resp: dict | None = None
+        for attempt in range(1, self.retries + 2):
+            if deadline.expired():
+                break
+            self.attempts += 1
+            try:
+                resp = self._attempt(payload, deadline)
+            except NetworkError as exc:
+                self.wire_errors += 1
+                last_exc, last_resp = exc, None
+            else:
+                if not self._should_failover(resp):
+                    return resp
+                last_exc, last_resp = None, resp
+            # Transient failure: rotate to the next replica and back
+            # off (clipped to the remaining budget — a sleep that
+            # outlives the deadline is worse than giving up).
+            self._rotate()
+            if attempt <= self.retries:
+                delay = backoff_delay(
+                    attempt, base=self.backoff_base, cap=self.backoff_cap,
+                    rng=self._rng,
+                )
+                rem = deadline.remaining()
+                if rem is not None:
+                    delay = min(delay, rem)
+                if delay > 0:
+                    time.sleep(delay)
+        if deadline.expired() and last_resp is None:
+            exhausted = DeadlineError(
+                f"deadline of {deadline.budget_s:.3f}s expired after "
+                f"{self.attempts} attempt(s)"
+            )
+            if last_exc is not None:
+                raise exhausted from last_exc
+            raise exhausted
+        if last_resp is not None:
+            return last_resp  # a shed/drain rejection from the last replica
+        assert last_exc is not None
+        raise last_exc
+
+    def compile_run(
+        self,
+        kernel: str,
+        *,
+        flow: str = "split_vec_gcc4cli",
+        target: str = "sse",
+        size: int | None = None,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """Convenience wrapper for the ``compile`` verb."""
+        return self.request(
+            {"op": "compile", "kernel": kernel, "flow": flow,
+             "target": target, "size": size},
+            deadline_s=deadline_s,
+        )
+
+    def health(self, deadline_s: float | None = None) -> dict:
+        return self.request({"op": "health"}, deadline_s=deadline_s)
+
+    def ready(self, deadline_s: float | None = None) -> bool:
+        resp = self.request({"op": "ready"}, deadline_s=deadline_s)
+        return bool(resp.get("ready"))
+
+    def stats(self, deadline_s: float | None = None) -> dict:
+        return self.request({"op": "stats"}, deadline_s=deadline_s)
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _should_failover(resp: dict) -> bool:
+        """Fast classified rejections worth retrying elsewhere: a shed
+        replica is overloaded, a draining replica is going away."""
+        if resp.get("status") == "shed":
+            return True
+        return (
+            resp.get("status") == "rejected"
+            and resp.get("error") == "DrainError"
+        )
+
+    def _rotate(self) -> None:
+        self._drop_connection()
+        if len(self.addresses) > 1:
+            self._addr_index = (self._addr_index + 1) % len(self.addresses)
+            self.failovers += 1
+
+    def _attempt_timeout(self, deadline: Deadline) -> float | None:
+        timeout = self.attempt_timeout_s
+        rem = deadline.remaining()
+        if rem is not None:
+            timeout = rem if timeout is None else min(timeout, rem)
+        return timeout
+
+    def _connect(self, timeout: float | None) -> socket.socket:
+        addr = self.addresses[self._addr_index]
+        if self._sock is not None and self._sock_addr == addr:
+            return self._sock
+        self._drop_connection()
+        connect_timeout = self.connect_timeout_s
+        if timeout is not None:
+            connect_timeout = min(connect_timeout, max(0.001, timeout))
+        try:
+            sock = socket.create_connection(addr, timeout=connect_timeout)
+        except OSError as exc:
+            raise NetworkError(
+                "connect", f"cannot connect to {addr[0]}:{addr[1]}: {exc}"
+            ) from None
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock, self._sock_addr = sock, addr
+        return sock
+
+    def _attempt(self, payload: dict, deadline: Deadline) -> dict:
+        timeout = self._attempt_timeout(deadline)
+        sock = self._connect(timeout)
+        sock.settimeout(timeout)
+        # The *remaining* budget rides the header — transit and queueing
+        # on the gateway side spend the caller's budget, not a fresh one.
+        frame = encode_frame(payload, deadline_s=deadline.remaining())
+        try:
+            sock.sendall(frame)
+            return self._read_response(sock)
+        except NetworkError:
+            self._drop_connection()
+            raise
+        except socket.timeout:
+            self._drop_connection()
+            raise NetworkError(
+                "timeout", f"no complete response within {timeout}s"
+            ) from None
+        except OSError as exc:
+            self._drop_connection()
+            raise NetworkError(
+                "reset", f"connection failed mid-request: {exc}"
+            ) from None
+
+    def _read_response(self, sock: socket.socket) -> dict:
+        header = self._read_exact(sock, HEADER_LEN, "frame header")
+        _deadline_ms, length = check_header(header)
+        rest = self._read_exact(sock, length + 4, "frame body")
+        body, crc = rest[:length], rest[length:]
+        check_frame(header, body, crc)
+        return decode_payload(body)
+
+    @staticmethod
+    def _read_exact(sock: socket.socket, n: int, what: str) -> bytes:
+        buf = bytearray()
+        while len(buf) < n:
+            chunk = sock.recv(n - len(buf))
+            if not chunk:
+                raise NetworkError(
+                    "truncated",
+                    f"connection closed {len(buf)} bytes into a "
+                    f"{n}-byte {what} (torn response)",
+                )
+            buf.extend(chunk)
+        return bytes(buf)

@@ -313,12 +313,27 @@ class KernelService:
 
     # -- lifecycle ------------------------------------------------------------
 
-    def close(self) -> None:
+    def close(self, wait: bool = True) -> None:
+        """Shut down the worker pool and the compile farm.
+
+        The farm teardown sits in a ``finally`` so an interrupt (Ctrl-C
+        lands in ``shutdown(wait=True)`` far more often than anywhere
+        else) can never skip it and orphan worker processes; pass
+        ``wait=False`` to skip waiting for queued thread work entirely.
+        """
         if not self._closed:
             self._closed = True
-            self._pool.shutdown(wait=True)
-            if self._farm is not None:
-                self._farm.close()
+            try:
+                self._pool.shutdown(wait=wait, cancel_futures=not wait)
+            finally:
+                if self._farm is not None:
+                    self._farm.close()
+
+    def farm_worker_pids(self) -> list[int]:
+        """PIDs of live compile-farm workers ([] without a farm)."""
+        if self._farm is None:
+            return []
+        return self._farm.worker_pids()
 
     def __enter__(self) -> "KernelService":
         return self

@@ -43,6 +43,7 @@ faults fire in the worker's JIT, deterministically.
 
 from __future__ import annotations
 
+import atexit
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -250,6 +251,11 @@ class CompileFarm:
         self.stalls = 0
         self.rebuilds = 0
         self._spawn()
+        # A farm that outlives its owner must not outlive the process:
+        # if the service is torn down by KeyboardInterrupt/SIGTERM before
+        # close() runs, this hook hard-kills the workers at interpreter
+        # exit instead of leaving orphaned compile processes behind.
+        atexit.register(self._kill)
 
     # -- pool lifecycle --------------------------------------------------------
 
@@ -301,6 +307,22 @@ class CompileFarm:
     def close(self) -> None:
         self._closed = True
         self._kill()
+        atexit.unregister(self._kill)
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the current worker processes (for leak auditing).
+
+        The gateway's ``stats`` verb and the chaos campaign's
+        leaked-workers invariant both read this: after ``close()`` every
+        PID listed here must be dead.
+        """
+        pool = self._pool
+        if pool is None:
+            return []
+        return sorted(
+            p.pid for p in getattr(pool, "_processes", {}).values()
+            if p.pid is not None
+        )
 
     # -- dispatch --------------------------------------------------------------
 

@@ -261,6 +261,31 @@ def test_classify_tag_space_is_closed():
         assert classify(anon) in errors._HOMES
 
 
+def test_classify_tag_space_includes_gateway_taxonomy():
+    """Deliberate tag-space expansion (PR 7): the network front door
+    added exactly two classified failure modes — a wire-level failure
+    (``NetworkError``) and a drain-time rejection (``DrainError``).
+    Pinning them here keeps the tag space *closed on purpose*: adding a
+    gateway error class without updating this test (and the taxonomy
+    table) should fail loudly."""
+    import repro.errors as errors
+    from repro.service.gateway import DrainError
+    from repro.service.wire import NetworkError
+
+    assert errors._HOMES["NetworkError"] == "repro.service.wire"
+    assert errors._HOMES["DrainError"] == "repro.service.gateway"
+    assert errors.NetworkError is NetworkError
+    assert errors.DrainError is DrainError
+    assert classify(NetworkError("bad-crc", "torn")) == "NetworkError"
+    assert classify(DrainError("draining")) == "DrainError"
+    # Both are catalogue citizens: ReproError subclasses, lazily
+    # re-exported, and listed in the module's public surface.
+    assert issubclass(NetworkError, ReproError)
+    assert issubclass(DrainError, ReproError)
+    assert "NetworkError" in errors.__all__
+    assert "DrainError" in errors.__all__
+
+
 def test_check_error_is_assertion_error():
     """Back-compat: harness check failures still satisfy AssertionError."""
     from repro.harness.flows import CheckError
