@@ -300,6 +300,7 @@ def _cmd_chaos(args) -> int:
 
     from .harness.chaos import (
         run_campaign,
+        run_fleet_campaign,
         run_gateway_campaign,
         run_service_campaign,
     )
@@ -313,6 +314,11 @@ def _cmd_chaos(args) -> int:
         report = run_gateway_campaign(
             n_faults=args.faults, seed=args.seed, size=args.size,
             farm_workers=args.farm_workers or 2,
+        )
+    elif args.profile == "fleet":
+        report = run_fleet_campaign(
+            n_faults=args.faults, seed=args.seed, size=args.size,
+            replicas=args.replicas, farm_workers=args.farm_workers or 1,
         )
     else:
         report = run_campaign(
@@ -366,6 +372,9 @@ def _serve_listen(args, svc) -> int:
 
     async def _run() -> None:
         await gw.start()
+        # Machine-readable port announcement FIRST — supervisors parsing
+        # child stdout for the ephemeral port must never race readiness.
+        print(f"LISTENING {gw.address[0]}:{gw.address[1]}", flush=True)
         print(f"gateway listening on {gw.address[0]}:{gw.address[1]} "
               f"(max_inflight={gw.max_inflight}; SIGTERM drains "
               f"gracefully)", flush=True)
@@ -380,6 +389,50 @@ def _serve_listen(args, svc) -> int:
     return 0
 
 
+def _serve_fleet(args) -> int:
+    """``serve --replicas N``: supervised replica fleet sharing one
+    cache directory, self-healing until SIGTERM/SIGINT
+    (docs/service.md §9)."""
+    import shutil
+    import signal
+    import tempfile
+    import threading
+
+    from .service.supervisor import FleetSupervisor
+
+    tmp_cache = None
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        tmp_cache = tempfile.mkdtemp(prefix="repro-fleet-cache-")
+        cache_dir = tmp_cache
+    stop = threading.Event()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, lambda *_: stop.set())
+    sup = FleetSupervisor(
+        replicas=args.replicas,
+        cache_dir=cache_dir,
+        farm_workers=args.farm_workers,
+        marker_ttl_s=args.marker_ttl,
+        farm_budget_s=args.farm_budget,
+    )
+    try:
+        sup.start()
+        for i, addr in enumerate(sup.slots()):
+            where = f"{addr[0]}:{addr[1]}" if addr else "down"
+            print(f"REPLICA {i} {where}", flush=True)
+        print(f"fleet of {args.replicas} replica(s) up "
+              f"(cache: {cache_dir}; SIGTERM stops the fleet)", flush=True)
+        stop.wait()
+    finally:
+        sup.stop()
+        if tmp_cache is not None:
+            shutil.rmtree(tmp_cache, ignore_errors=True)
+    st = sup.stats()
+    print(f"fleet stopped: {st['restarts']} restart(s), "
+          f"{st['parked']} parked replica(s)", flush=True)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Drive the resilient JIT service with a seeded synthetic stream."""
     import json
@@ -391,6 +444,8 @@ def _cmd_serve(args) -> int:
     from .kernels import all_kernels
     from .service import KernelService, ServiceRequest
 
+    if args.replicas:
+        return _serve_fleet(args)
     rng = random.Random(args.seed)
     kernels = [k.name for k in all_kernels("kernel")][:6]
     flows = sorted(FLOWS)
@@ -400,12 +455,18 @@ def _cmd_serve(args) -> int:
     if cache_dir is None:
         tmp_cache = tempfile.mkdtemp(prefix="repro-serve-cache-")
         cache_dir = tmp_cache
+    svc_kwargs = {}
+    if args.marker_ttl is not None:
+        svc_kwargs["marker_ttl_s"] = args.marker_ttl
+    if args.farm_budget is not None:
+        svc_kwargs["farm_budget_s"] = args.farm_budget
     svc = KernelService(
         cache_dir=cache_dir,
         queue_limit=args.queue_limit,
         workers=args.jobs,
         farm_workers=args.farm_workers,
         seed=args.seed,
+        **svc_kwargs,
     )
     try:
         if args.listen is not None:
@@ -564,19 +625,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also inject worker crash/stall into a real "
                    "process-pool sweep (slower)")
     p.add_argument("--profile", default="layers",
-                   choices=["layers", "service", "gateway"],
+                   choices=["layers", "service", "gateway", "fleet"],
                    help="'layers' injects into the pipeline stages; "
                    "'service' soaks a live KernelService (cache "
                    "corruption, torn writes, breaker trips, overload); "
                    "'gateway' soaks a live network gateway with "
                    "wire-level hostility (garbage/truncated/slowloris "
                    "frames, torn connections, overload, wire deadlines) "
-                   "plus a graceful-drain and leaked-worker audit")
+                   "plus a graceful-drain and leaked-worker audit; "
+                   "'fleet' SIGKILLs supervised replicas mid-compile / "
+                   "mid-cache-write / mid-frame / while holding a .lead "
+                   "marker and audits crash consistency end-to-end")
     p.add_argument("--farm-workers", type=int, default=0,
                    help="for --profile service: run the soaked service "
                    "with a compile farm and mix in farm faults (worker "
                    "crash/stall, stale cross-replica leader markers); "
-                   "for --profile gateway the default is 2")
+                   "for --profile gateway the default is 2, for fleet 1")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="for --profile fleet: supervised replica count")
     p.add_argument("--stats-out",
                    help="write the campaign census (and final service "
                    "stats, for --profile service) as JSON")
@@ -604,6 +670,17 @@ def build_parser() -> argparse.ArgumentParser:
                    "compile on distinct cores")
     p.add_argument("--queue-limit", type=int, default=32,
                    help="admission-queue bound (requests beyond it shed)")
+    p.add_argument("--marker-ttl", type=float, default=None,
+                   help="cross-replica leader-marker TTL in seconds "
+                   "(stale .lead markers are reclaimed after this)")
+    p.add_argument("--farm-budget", type=float, default=None,
+                   help="per-flight compile budget in seconds for the "
+                   "compile farm")
+    p.add_argument("--replicas", type=int, default=0,
+                   help="run a supervised fleet of N gateway replicas "
+                   "sharing one cache directory instead of a single "
+                   "process (self-healing: dead/wedged replicas are "
+                   "restarted with backoff, flapping ones parked)")
     p.add_argument("--stats-out",
                    help="write health + stats snapshot as JSON")
     p.add_argument("--listen", nargs="?", const="127.0.0.1:0",

@@ -34,6 +34,7 @@ class                      layer / meaning
 ``FarmError``              service: compile-farm dispatch failed (rerouted)
 ``NetworkError``           gateway wire: framing/CRC/connection/timeout failure
 ``DrainError``             gateway: request rejected while draining for shutdown
+``FleetError``             supervisor: replica parked / fleet capacity failure
 ``FaultInjected``          faults: marker mixin for injected failures
 ========================== ==================================================
 
@@ -76,6 +77,7 @@ __all__ = [
     "FarmError",
     "NetworkError",
     "DrainError",
+    "FleetError",
 ]
 
 
@@ -119,6 +121,7 @@ _HOMES = {
     "FarmError": "repro.service.farm",
     "NetworkError": "repro.service.wire",
     "DrainError": "repro.service.gateway",
+    "FleetError": "repro.service.supervisor",
 }
 
 

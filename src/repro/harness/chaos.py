@@ -97,9 +97,13 @@ _WEIGHTS = (40, 20, 5, 20, 15)
 #: failing outcome tags (anything else passes).  ``torn-response`` (a
 #: partial or corrupted wire frame accepted as an answer) and
 #: ``leaked-workers`` (farm processes outliving their service) belong to
-#: the gateway profile's invariant.
+#: the gateway profile's invariant; ``torn-cache`` (a shared cache entry
+#: that fails envelope verification after a replica SIGKILL) and
+#: ``stale-lead`` (a dead leader's marker outliving its TTL unreclaimed)
+#: belong to the fleet profile's.
 FAILING = ("silent-wrong", "wrong-answer", "unclassified-trap",
-           "parity-mismatch", "torn-response", "leaked-workers")
+           "parity-mismatch", "torn-response", "leaked-workers",
+           "torn-cache", "stale-lead")
 
 _DEFAULT_KERNELS = ("saxpy_fp", "dscal_fp", "interp_fp", "sfir_fp")
 _IDIOMS = ("*", "realign_load", "vstore", "reduc_plus", "init_uniform")
@@ -871,7 +875,79 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
-class _GatewaySoak:
+class _WireJudge:
+    """Response judging shared by the gateway and fleet soaks.
+
+    Subclass contract: ``self.size`` (trial problem size),
+    ``self.ref_runner`` (a cold :class:`FlowRunner`), ``self._refs``
+    (the reference memo dict).
+    """
+
+    def reference(self, kernel: str, flow: str, target: str,
+                  size: int | None = None):
+        """Cold no-cache (cycles, value), computed outside any fault."""
+        size = self.size if size is None else size
+        key = (kernel, flow, target, size)
+        if key not in self._refs:
+            inst = get_kernel(kernel).instantiate(size)
+            r = self.ref_runner.run(inst, flow, target)
+            self._refs[key] = (r.cycles, r.value)
+        return self._refs[key]
+
+    def judge(self, layer: str, fault: str, req: dict,
+              resp: dict) -> ChaosTrial:
+        """Classify a wire response payload against the invariant.
+
+        The gateway-grade twist on :meth:`_ServiceSoak.judge`: an ``ok``
+        result whose cycles/value diverge from the cold reference is a
+        **torn response** — the wire changed the answer."""
+        kernel = req.get("kernel", "?")
+        error = resp.get("error")
+        if error is not None and str(error).startswith("unclassified"):
+            return ChaosTrial(layer, kernel, fault, "unclassified-trap",
+                              str(error))
+        status = resp.get("status")
+        result = resp.get("result")
+        if result is not None:
+            if not result.get("checked") and status != "stale":
+                return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                                  "result served without checking")
+            if status == "ok":
+                cycles, value = self.reference(
+                    kernel, resp["flow"], resp["target"],
+                    size=req.get("size"),
+                )
+                if result["cycles"] != cycles or result["value"] != value:
+                    return ChaosTrial(
+                        layer, kernel, fault, "torn-response",
+                        f"wire result {result['cycles']}/{result['value']} "
+                        f"diverged from cold reference {cycles}/{value}",
+                    )
+                return ChaosTrial(layer, kernel, fault, "correct",
+                                  "warm-cache" if resp.get("from_cache")
+                                  else "")
+            if status in ("stale", "degraded"):
+                if not resp.get("events"):
+                    return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                                      f"{status} response without its "
+                                      f"event chain")
+                tag = ("served-stale" if status == "stale"
+                       else "degraded-correct")
+                return ChaosTrial(layer, kernel, fault, tag, "; ".join(
+                    e["cause"] for e in resp["events"]
+                ))
+        if status == "shed":
+            return ChaosTrial(layer, kernel, fault, "shed", error or "")
+        if status == "rejected":
+            if error is None:
+                return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                                  "rejected without a classified tag")
+            return ChaosTrial(layer, kernel, fault, "trapped", str(error))
+        return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                          f"unknown response status {status!r}")
+
+
+class _GatewaySoak(_WireJudge):
     """State of one gateway soak: a live farm-backed service behind a
     live :class:`~repro.service.gateway.ThreadedGateway`, one resilient
     client, one no-retry client, and raw-socket hostile peers."""
@@ -920,66 +996,6 @@ class _GatewaySoak:
             "target": over.get("target", self.rng.choice(_TARGETS)),
             "size": self.size,
         }
-
-    def reference(self, kernel: str, flow: str, target: str):
-        """Cold no-cache (cycles, value), computed outside any fault."""
-        key = (kernel, flow, target, self.size)
-        if key not in self._refs:
-            inst = get_kernel(kernel).instantiate(self.size)
-            r = self.ref_runner.run(inst, flow, target)
-            self._refs[key] = (r.cycles, r.value)
-        return self._refs[key]
-
-    def judge(self, layer: str, fault: str, req: dict,
-              resp: dict) -> ChaosTrial:
-        """Classify a wire response payload against the invariant.
-
-        The gateway-grade twist on :meth:`_ServiceSoak.judge`: an ``ok``
-        result whose cycles/value diverge from the cold reference is a
-        **torn response** — the wire changed the answer."""
-        kernel = req.get("kernel", "?")
-        error = resp.get("error")
-        if error is not None and str(error).startswith("unclassified"):
-            return ChaosTrial(layer, kernel, fault, "unclassified-trap",
-                              str(error))
-        status = resp.get("status")
-        result = resp.get("result")
-        if result is not None:
-            if not result.get("checked") and status != "stale":
-                return ChaosTrial(layer, kernel, fault, "silent-wrong",
-                                  "result served without checking")
-            if status == "ok":
-                cycles, value = self.reference(
-                    kernel, resp["flow"], resp["target"]
-                )
-                if result["cycles"] != cycles or result["value"] != value:
-                    return ChaosTrial(
-                        layer, kernel, fault, "torn-response",
-                        f"wire result {result['cycles']}/{result['value']} "
-                        f"diverged from cold reference {cycles}/{value}",
-                    )
-                return ChaosTrial(layer, kernel, fault, "correct",
-                                  "warm-cache" if resp.get("from_cache")
-                                  else "")
-            if status in ("stale", "degraded"):
-                if not resp.get("events"):
-                    return ChaosTrial(layer, kernel, fault, "silent-wrong",
-                                      f"{status} response without its "
-                                      f"event chain")
-                tag = ("served-stale" if status == "stale"
-                       else "degraded-correct")
-                return ChaosTrial(layer, kernel, fault, tag, "; ".join(
-                    e["cause"] for e in resp["events"]
-                ))
-        if status == "shed":
-            return ChaosTrial(layer, kernel, fault, "shed", error or "")
-        if status == "rejected":
-            if error is None:
-                return ChaosTrial(layer, kernel, fault, "silent-wrong",
-                                  "rejected without a classified tag")
-            return ChaosTrial(layer, kernel, fault, "trapped", str(error))
-        return ChaosTrial(layer, kernel, fault, "silent-wrong",
-                          f"unknown response status {status!r}")
 
     # -- raw-socket hostile peer ----------------------------------------------
 
@@ -1038,7 +1054,7 @@ class _GatewaySoak:
 
     def _liveness(self, layer: str, kernel: str, fault: str):
         """The gateway must still answer after hostile bytes."""
-        self.fast._drop_connection()  # probe on a fresh connection
+        self.fast.close()  # probe on a fresh connection
         try:
             if self.fast.ready():
                 return None
@@ -1441,6 +1457,553 @@ def run_gateway_campaign(
         }
         report.trials.append(soak.drain_trial())
         report.trials.append(soak.leaked_workers_trial())
+    finally:
+        soak.close()
+        if own_dir:
+            shutil.rmtree(root, ignore_errors=True)
+    return report
+
+
+FLEET_LAYERS = ("fl-plain", "fl-warm-identity", "fl-kill-compile",
+                "fl-kill-write", "fl-kill-lead", "fl-kill-wire")
+_FLEET_WEIGHTS = (25, 15, 18, 12, 15, 15)
+
+
+class _FleetSoak(_WireJudge):
+    """State of one fleet soak: a live :class:`FleetSupervisor` over N
+    real ``serve --listen`` child processes sharing one cache directory,
+    one sharded failover client, and the SIGKILL chaos driver.
+
+    The kill layers SIGKILL the *shard-owner* replica of an in-flight
+    cold compile at seeded moments — early (mid-compile), late
+    (mid-cache-write), while its ``.lead`` cross-replica coalescing
+    marker is fresh, and mid-frame under a pinned no-retry client — and
+    judge that the sharded client rides through with a correct answer
+    while the supervisor respawns the victim.  Every killed pid (replica
+    and its farm workers) is recorded for the end-of-campaign leak
+    audit; the shared cache directory is audited last: every ``*.vbk``
+    must verify, the quarantine must be empty (atomic writes never let a
+    torn entry into the namespace), and no stale ``.lead`` marker may
+    survive.
+    """
+
+    def __init__(self, seed: int, size: int, cache_dir: str,
+                 replicas: int = 3, farm_workers: int = 1) -> None:
+        from ..service.supervisor import FleetSupervisor
+
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.size = size
+        self.root = cache_dir
+        self.replicas = int(replicas)
+        self.marker_ttl_s = 1.5
+        self.sup = FleetSupervisor(
+            self.replicas, cache_dir,
+            farm_workers=farm_workers, workers=4,
+            queue_limit=32, max_inflight=32,
+            marker_ttl_s=self.marker_ttl_s, farm_budget_s=10.0,
+            probe_interval_s=0.1, probe_timeout_s=2.0, probe_failures=3,
+            restart_backoff_base=0.02, restart_backoff_cap=0.1,
+            # Kill storms are the point of this campaign; the flap->park
+            # path has its own scripted epilogue on a throwaway replica.
+            restart_budget=10 ** 9,
+            seed=seed,
+        )
+        self.sup.start()
+        # Retry budget sized to ride out a full respawn (~1s): even if a
+        # kill ever leaves zero live slots for a moment, the client must
+        # wait out the supervisor, not surface a lost answer.
+        self.client = self.sup.client(
+            retries=8, backoff_base=0.02, backoff_cap=0.4,
+            dead_cooldown_s=0.25, seed=seed,
+        )
+        self.ref_runner = FlowRunner()
+        self._refs: dict = {}
+        # Odd sizes, strictly increasing: every cold shape is a CacheKey
+        # the fleet has never seen (warm trials use ``size`` itself).
+        self._cold_size = size + (1 if size % 2 == 0 else 2)
+        self.dead_pids: list[int] = []
+        self.kills = 0
+
+    def close(self) -> None:
+        self.client.close()
+        self.sup.stop()
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _payload(self, kernel: str, size: int | None = None) -> dict:
+        return {
+            "op": "compile",
+            "kernel": kernel,
+            "flow": self.rng.choice(_FLOWS),
+            "target": self.rng.choice(_TARGETS),
+            "size": self.size if size is None else size,
+        }
+
+    def _cold_payload(self, kernel: str) -> dict:
+        size = self._cold_size
+        self._cold_size += 2
+        return self._payload(kernel, size=size)
+
+    def _pids_of(self, index: int) -> list:
+        """The victim's own pid plus its farm workers' (for the
+        post-mortem leak audit) — snapshotted *before* the kill."""
+        from ..service import GatewayClient
+
+        pids = []
+        pid = self.sup.replica_pids().get(index)
+        if pid is not None:
+            pids.append(pid)
+        addr = self.sup.slots()[index]
+        if addr is not None:
+            c = GatewayClient([addr], retries=0, seed=self.seed + 97)
+            try:
+                st = c.stats(deadline_s=10.0)
+                pids.extend(int(p) for p in (st.get("farm_pids") or ()))
+            except Exception:  # noqa: BLE001 - racing the kill window
+                pass
+            finally:
+                c.close()
+        return pids
+
+    def _heal(self, layer: str, kernel: str, fault: str):
+        """Wait for the supervisor to respawn every replica; a fleet
+        that cannot heal is a failing outcome, not a flake."""
+        deadline = time.perf_counter() + 60.0
+        while time.perf_counter() < deadline:
+            if self.sup.up_count() == self.replicas:
+                return None
+            time.sleep(0.05)
+        return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                          f"fleet stuck at {self.sup.up_count()}/"
+                          f"{self.replicas} replicas 60s after the kill")
+
+    def _lead_files(self) -> list:
+        import os
+
+        try:
+            return [n for n in os.listdir(self.root)
+                    if n.endswith(".lead")]
+        except OSError:
+            return []
+
+    # -- trial kinds -----------------------------------------------------------
+
+    def plain(self, kernel: str) -> ChaosTrial:
+        req = self._payload(kernel)
+        resp = self.client.request(req, deadline_s=120.0)
+        return self.judge("fl-plain", "none", req, resp)
+
+    def warm_identity(self, kernel: str) -> ChaosTrial:
+        """The same warm key served by *every* live replica must come
+        back byte-identical — shared-cache read-through means one
+        envelope on disk is the single source of truth."""
+        from ..service import DeadlineError, GatewayClient, NetworkError
+        from ..service.wire import encode_payload
+
+        layer, fault = "fl-warm-identity", "cross-replica byte-compare"
+        req = self._payload(kernel)
+        warm = self.client.request(req, deadline_s=120.0)
+        t0 = self.judge(layer, fault, req, warm)
+        if not t0.ok:
+            return t0
+        if warm.get("status") != "ok":
+            return ChaosTrial(layer, kernel, fault, t0.outcome,
+                              f"warm-up got {warm.get('status')}; "
+                              f"identity not comparable this trial")
+        blobs = set()
+        probed = 0
+        for addr in self.sup.slots():
+            if addr is None:
+                continue
+            c = GatewayClient([addr], retries=2, backoff_base=0.01,
+                              seed=self.seed + 31)
+            try:
+                resp = c.request(req, deadline_s=60.0)
+            except (NetworkError, DeadlineError):
+                # The slot list is a snapshot: a replica killed by an
+                # earlier trial can die between slots() and connect.
+                # That's a liveness event, not an identity violation —
+                # skip it; the supervisor's restart loop owns recovery.
+                continue
+            except Exception as exc:  # noqa: BLE001 - judged below
+                return ChaosTrial(layer, kernel, fault, "unclassified-trap",
+                                  f"replica {addr} probe died: {exc!r}")
+            finally:
+                c.close()
+            t = self.judge(layer, fault, req, resp)
+            if not t.ok:
+                return t
+            if resp.get("status") != "ok" or not resp.get("from_cache"):
+                return ChaosTrial(
+                    layer, kernel, fault, "silent-wrong",
+                    f"replica {addr} answered {resp.get('status')}/"
+                    f"from_cache={resp.get('from_cache')} for a warm key",
+                )
+            blobs.add(encode_payload(resp["result"]))
+            probed += 1
+        if len(blobs) > 1:
+            return ChaosTrial(layer, kernel, fault, "torn-response",
+                              f"warm result diverges across {probed} "
+                              f"replicas ({len(blobs)} variants)")
+        return ChaosTrial(layer, kernel, fault, "correct",
+                          f"byte-identical across {probed} replicas")
+
+    def _kill_mid_flight(self, layer: str, delay_lo: float,
+                         delay_hi: float) -> ChaosTrial:
+        """Cold compile through the sharded client; SIGKILL the shard
+        owner after a seeded delay inside the flight."""
+        import threading
+
+        from ..service.client import shard_index
+
+        kernel = self.rng.choice(_DEFAULT_KERNELS)
+        req = self._cold_payload(kernel)
+        victim = shard_index(req, self.replicas)
+        fault = f"kill -9 replica {victim} after ~{delay_lo:.2f}s"
+        doomed = self._pids_of(victim)
+        out: dict = {}
+
+        def issue() -> None:
+            try:
+                out["resp"] = self.client.request(req, deadline_s=120.0)
+            except Exception as exc:  # noqa: BLE001 - judged below
+                out["exc"] = exc
+
+        worker = threading.Thread(target=issue)
+        worker.start()
+        time.sleep(self.rng.uniform(delay_lo, delay_hi))
+        pid = self.sup.kill(victim)
+        if pid is not None:
+            self.kills += 1
+            self.dead_pids.extend(doomed)
+        worker.join(timeout=180.0)
+        if worker.is_alive():
+            return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                              "request still in flight 180s after kill")
+        trial = self._judge_ride_through(layer, kernel, fault, req, out)
+        if not trial.ok:
+            return trial
+        healed = self._heal(layer, kernel, fault)
+        if healed is not None:
+            return healed
+        return trial
+
+    def _judge_ride_through(self, layer: str, kernel: str, fault: str,
+                            req: dict, out: dict) -> ChaosTrial:
+        if "exc" in out:
+            from ..errors import classify, is_classified
+
+            exc = out["exc"]
+            if is_classified(exc):
+                # Classified but still a lost answer: with a whole fleet
+                # to fail over to, the client should have ridden through.
+                return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                                  f"sharded client gave up with "
+                                  f"{classify(exc)}: {exc}")
+            return ChaosTrial(layer, kernel, fault, "unclassified-trap",
+                              f"{type(exc).__name__}: {exc}")
+        trial = self.judge(layer, fault, req, out["resp"])
+        if not trial.ok:
+            return trial
+        if trial.outcome != "correct":
+            return trial
+        return ChaosTrial(layer, kernel, fault, "killed-through",
+                          f"served correct through the kill "
+                          f"({out['resp'].get('attempts')} attempt(s))")
+
+    def kill_compile(self) -> ChaosTrial:
+        return self._kill_mid_flight("fl-kill-compile", 0.005, 0.08)
+
+    def kill_write(self) -> ChaosTrial:
+        return self._kill_mid_flight("fl-kill-write", 0.08, 0.4)
+
+    def kill_lead(self) -> ChaosTrial:
+        """Kill the shard owner while its cross-replica ``.lead`` marker
+        is fresh; a survivor must reclaim it within the marker TTL and
+        no stale marker may outlive the trial."""
+        trial = self._kill_mid_flight("fl-kill-lead", 0.02, 0.15)
+        if not trial.ok:
+            return trial
+        deadline = time.perf_counter() + self.marker_ttl_s + 10.0
+        leads = self._lead_files()
+        while leads and time.perf_counter() < deadline:
+            time.sleep(0.05)
+            leads = self._lead_files()
+        if leads:
+            return ChaosTrial("fl-kill-lead", trial.kernel, trial.fault,
+                              "stale-lead",
+                              f"markers {leads} still present "
+                              f"{self.marker_ttl_s + 10.0:.1f}s after the "
+                              f"kill (TTL {self.marker_ttl_s}s)")
+        return trial
+
+    def kill_wire(self) -> ChaosTrial:
+        """SIGKILL the replica a *pinned no-retry* client is mid-frame
+        with: the cut must surface as a classified NetworkError (never a
+        partial frame accepted as an answer), and the sharded client
+        must then serve the same request through the survivors."""
+        import threading
+
+        from ..service import GatewayClient
+        from ..service.client import shard_index
+
+        layer = "fl-kill-wire"
+        kernel = self.rng.choice(_DEFAULT_KERNELS)
+        req = self._cold_payload(kernel)
+        victim = shard_index(req, self.replicas)
+        fault = f"kill -9 replica {victim} mid-frame"
+        addr = self.sup.slots()[victim]
+        if addr is None:
+            # The victim is mid-respawn from a prior trial; the pinned
+            # half of this trial needs a live socket to cut.
+            healed = self._heal(layer, kernel, fault)
+            if healed is not None:
+                return healed
+            addr = self.sup.slots()[victim]
+        doomed = self._pids_of(victim)
+        pinned = GatewayClient([addr], retries=0, seed=self.seed + 53)
+        out: dict = {}
+
+        def issue() -> None:
+            try:
+                out["resp"] = pinned.request(req, deadline_s=60.0)
+            except Exception as exc:  # noqa: BLE001 - judged below
+                out["exc"] = exc
+
+        worker = threading.Thread(target=issue)
+        worker.start()
+        time.sleep(self.rng.uniform(0.01, 0.1))
+        pid = self.sup.kill(victim)
+        if pid is not None:
+            self.kills += 1
+            self.dead_pids.extend(doomed)
+        worker.join(timeout=120.0)
+        pinned.close()
+        if worker.is_alive():
+            return ChaosTrial(layer, kernel, fault, "silent-wrong",
+                              "pinned request still in flight 120s "
+                              "after kill")
+        if "exc" in out:
+            from ..errors import classify, is_classified
+
+            exc = out["exc"]
+            if not is_classified(exc):
+                return ChaosTrial(layer, kernel, fault, "unclassified-trap",
+                                  f"{type(exc).__name__}: {exc}")
+            detail = f"pinned client saw classified {classify(exc)}"
+        else:
+            # The kill landed outside the flight; the reply must still
+            # be a whole, correct frame.
+            t = self.judge(layer, fault, req, out["resp"])
+            if not t.ok:
+                return t
+            detail = "kill missed the flight; whole frame served"
+        resp2 = self.client.request(req, deadline_s=120.0)
+        t2 = self.judge(layer, fault, req, resp2)
+        if not t2.ok:
+            return t2
+        healed = self._heal(layer, kernel, fault)
+        if healed is not None:
+            return healed
+        return ChaosTrial(layer, kernel, fault, "killed-through",
+                          f"{detail}; survivors served the same key")
+
+    # -- scripted epilogue trials ---------------------------------------------
+
+    def park_trial(self) -> ChaosTrial:
+        """Flap suppression on a throwaway one-replica supervisor: kill
+        it past its restart budget and the replica must park with a
+        classified FleetError, with readiness reporting the lost
+        capacity."""
+        from ..errors import classify
+        from ..service.supervisor import FleetSupervisor
+
+        layer, fault = "fl-park", "kill -9 x3 inside the flap window"
+        sup = FleetSupervisor(
+            1, self.root, farm_workers=0, workers=2,
+            probe_interval_s=0.05, probe_timeout_s=2.0,
+            restart_backoff_base=0.01, restart_backoff_cap=0.05,
+            restart_budget=2, restart_window_s=60.0,
+            seed=self.seed + 71,
+        )
+        try:
+            sup.start()
+            deadline = time.perf_counter() + 90.0
+            while time.perf_counter() < deadline:
+                ready = sup.ready()
+                if ready["parked"] == 1:
+                    break
+                pids = sup.replica_pids()
+                if pids:
+                    sup.kill(0)
+                time.sleep(0.05)
+            ready = sup.ready()
+            if ready["parked"] != 1:
+                return ChaosTrial(layer, "*", fault, "silent-wrong",
+                                  f"replica never parked: {ready}")
+            if ready["ready"] or not ready["degraded"]:
+                return ChaosTrial(layer, "*", fault, "silent-wrong",
+                                  f"parked fleet still reports {ready}")
+            err = sup.stats()["replicas"][0]["error"]
+            parked_err = sup._replicas[0].error
+            if parked_err is None or classify(parked_err) != "FleetError":
+                return ChaosTrial(layer, "*", fault, "unclassified-trap",
+                                  f"parked without a classified "
+                                  f"FleetError: {err!r}")
+            return ChaosTrial(layer, "*", fault, "parked-classified",
+                              str(err))
+        finally:
+            sup.stop()
+
+    def cache_audit_trial(self) -> ChaosTrial:
+        """The shared cache after the kill storm: every ``*.vbk``
+        envelope verifies, the quarantine is empty, no ``.lead`` marker
+        survives.  Leftover ``*.tmp`` droppings are harmless by design
+        (the index never reads them) and only reported."""
+        import os
+
+        from ..service.cache import unpack_kernel
+
+        layer, fault = "fl-cache-audit", f"after {self.kills} kills"
+        entries, tmps = 0, 0
+        for name in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, name)
+            if name.endswith(".tmp"):
+                tmps += 1
+                continue
+            if not name.endswith(".vbk") or not os.path.isfile(path):
+                continue
+            entries += 1
+            try:
+                with open(path, "rb") as f:
+                    unpack_kernel(f.read())
+            except Exception as exc:  # noqa: BLE001 - the audit verdict
+                return ChaosTrial(layer, "*", fault, "torn-cache",
+                                  f"{name} failed verification: {exc}")
+        qdir = os.path.join(self.root, "quarantine")
+        quarantined = os.listdir(qdir) if os.path.isdir(qdir) else []
+        if quarantined:
+            return ChaosTrial(layer, "*", fault, "torn-cache",
+                              f"quarantine not empty: {quarantined} — a "
+                              f"torn entry reached the cache namespace")
+        leads = self._lead_files()
+        if leads:
+            return ChaosTrial(layer, "*", fault, "stale-lead",
+                              f"leader markers survived the campaign: "
+                              f"{leads}")
+        return ChaosTrial(layer, "*", fault, "cache-clean",
+                          f"{entries} entries verified, quarantine "
+                          f"empty, 0 stale leads, {tmps} harmless "
+                          f"tmp dropping(s)")
+
+    def farm_leak_trial(self) -> ChaosTrial:
+        """Every pid that died in the storm — replicas *and* their farm
+        workers — must actually be gone (the farm's parent-death
+        watchdog is what makes the workers true orphan-proof)."""
+        layer, fault = "fl-leak-audit", f"{self.kills} kills"
+        deadline = time.perf_counter() + 20.0
+        alive = [p for p in set(self.dead_pids) if _pid_alive(p)]
+        while alive and time.perf_counter() < deadline:
+            time.sleep(0.05)
+            alive = [p for p in set(self.dead_pids) if _pid_alive(p)]
+        if alive:
+            return ChaosTrial(layer, "*", fault, "leaked-workers",
+                              f"pids {alive} survived their replica's "
+                              f"SIGKILL")
+        return ChaosTrial(layer, "*", fault, "farm-reaped",
+                          f"all {len(set(self.dead_pids))} killed pids "
+                          f"(replicas + farm workers) are gone")
+
+    def final_ready_trial(self) -> ChaosTrial:
+        """The fleet must end the campaign at full serving capacity."""
+        layer, fault = "fl-final", "post-storm readiness"
+        healed = self._heal(layer, "*", fault)
+        if healed is not None:
+            return healed
+        req = self._payload(self.rng.choice(_DEFAULT_KERNELS))
+        resp = self.client.request(req, deadline_s=120.0)
+        trial = self.judge(layer, fault, req, resp)
+        if not trial.ok:
+            return trial
+        ready = self.sup.ready()
+        if not ready["ready"] or ready["degraded"]:
+            return ChaosTrial(layer, "*", fault, "silent-wrong",
+                              f"fleet not at full capacity: {ready}")
+        return ChaosTrial(layer, "*", fault, "fleet-ready",
+                          f"{ready['up']}/{ready['replicas']} replicas "
+                          f"up after {self.kills} kills")
+
+
+def run_fleet_campaign(
+    n_faults: int = 200,
+    seed: int = 0,
+    kernels=_DEFAULT_KERNELS,
+    size: int = 16,
+    cache_dir: str | None = None,
+    replicas: int = 3,
+    farm_workers: int = 1,
+) -> ChaosReport:
+    """SIGKILL crash-consistency campaign over a supervised replica
+    fleet (ISSUE 8's invariant).
+
+    ``n_faults`` seeded trials against a live N-replica fleet sharing
+    one cache directory — plain sharded traffic, cross-replica warm
+    byte-identity probes, and SIGKILLs of the shard-owner replica
+    mid-cold-compile, mid-cache-write, while holding a ``.lead``
+    marker, and mid-frame under a pinned client — followed by four
+    scripted epilogues: the flap->park trial, the shared-cache audit
+    (every envelope verifies, quarantine empty, zero stale leads), the
+    killed-pid leak audit, and the full-capacity readiness check.
+    """
+    import shutil
+    import tempfile
+
+    rng = random.Random(seed)
+    kernels = tuple(kernels)
+    own_dir = cache_dir is None
+    root = cache_dir or tempfile.mkdtemp(prefix="repro-fleet-chaos-")
+    soak = _FleetSoak(seed, size, root, replicas=int(replicas),
+                      farm_workers=int(farm_workers))
+    report = ChaosReport(seed=seed)
+    try:
+        for _ in range(int(n_faults)):
+            layer = rng.choices(FLEET_LAYERS, weights=_FLEET_WEIGHTS)[0]
+            kernel = rng.choice(kernels)
+            try:
+                if layer == "fl-plain":
+                    t = soak.plain(kernel)
+                elif layer == "fl-warm-identity":
+                    t = soak.warm_identity(kernel)
+                elif layer == "fl-kill-compile":
+                    t = soak.kill_compile()
+                elif layer == "fl-kill-write":
+                    t = soak.kill_write()
+                elif layer == "fl-kill-lead":
+                    t = soak.kill_lead()
+                else:
+                    t = soak.kill_wire()
+            except Exception as exc:  # noqa: BLE001 - census integrity:
+                # a trial that dies is a failing outcome, never a
+                # campaign crash that loses the whole report.
+                t = ChaosTrial(layer, kernel, "trial-crashed",
+                               "unclassified-trap",
+                               f"{type(exc).__name__}: {exc}")
+            report.trials.append(t)
+        report.trials.append(soak.park_trial())
+        report.trials.append(soak.cache_audit_trial())
+        report.trials.append(soak.farm_leak_trial())
+        report.trials.append(soak.final_ready_trial())
+        report.service_stats = {
+            "fleet": soak.sup.stats(),
+            "ready": soak.sup.ready(),
+            "kills": soak.kills,
+            "client": {
+                "attempts": soak.client.attempts,
+                "failovers": soak.client.failovers,
+                "wire_errors": soak.client.wire_errors,
+            },
+        }
     finally:
         soak.close()
         if own_dir:

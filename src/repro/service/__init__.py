@@ -11,6 +11,12 @@ asyncio TCP listener speaking the CRC-framed wire protocol of
 :mod:`repro.service.wire`) and ``GatewayClient`` (a blocking client
 with retries, failover, and deadline propagation) — see
 docs/service.md §8.
+
+Above both sits the self-healing tier: ``FleetSupervisor`` spawns N
+gateway replicas as child processes over one shared cache directory,
+hash-shards client placement by request shape, probes liveness over the
+wire under a probe deadline, and restarts dead or wedged replicas with
+jittered backoff and flap suppression (docs/service.md §9).
 """
 
 from .admission import AdmissionQueue, Deadline, DeadlineError, OverloadError
@@ -26,6 +32,7 @@ from .client import GatewayClient
 from .core import KernelService, ServiceRequest, ServiceResponse
 from .farm import CompileFarm, CompileJob, FarmError
 from .gateway import DrainError, GatewayServer, ThreadedGateway
+from .supervisor import FleetError, FleetSupervisor
 from .wire import NetworkError
 
 __all__ = [
@@ -37,6 +44,8 @@ __all__ = [
     "GatewayClient",
     "NetworkError",
     "DrainError",
+    "FleetSupervisor",
+    "FleetError",
     "CompileFarm",
     "CompileJob",
     "FarmError",

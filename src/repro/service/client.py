@@ -1,4 +1,4 @@
-"""The resilient gateway client: retries, failover, deadline budget.
+"""The resilient gateway client: sharding, retries, failover, deadlines.
 
 The other half of the wire contract (:mod:`repro.service.wire`): a
 blocking client built for the fail-soft story the gateway exports —
@@ -11,10 +11,20 @@ blocking client built for the fail-soft story the gateway exports —
   with the toolchain's shared
   :func:`~repro.harness.parallel.backoff_delay` (the same curve the
   service's own retry loop uses), seeded for deterministic campaigns;
-* **failover across replicas** — a shed (``OverloadError``), a drain
-  rejection (``DrainError``), or a dead connection rotates to the next
-  address in the replica list; fast classified rejections exist exactly
-  so callers can retry *elsewhere* cheaply;
+* **deliberate placement** — compile requests are **hash-sharded** by
+  request shape (:func:`shard_index`): the shape determines the
+  canonical bytecode and hence the service's
+  :class:`~repro.service.cache.CacheKey`, so all requests for one cache
+  key land on one replica — cold misses coalesce on that replica's
+  single-flight table instead of compiling once per replica, and its
+  cache stays hot for the shapes it owns;
+* **per-call failover ordering** — every ``request()`` re-derives its
+  replica ordering: the shard owner first, then a *jittered rotation*
+  of the remainder (so failover load spreads instead of piling onto the
+  next index), with replicas that failed within ``dead_cooldown_s``
+  demoted to the back of the order.  A dead first replica therefore
+  costs one classified connect failure *once per cooldown window*, not
+  one connect timeout on every subsequent call;
 * **deadline awareness** — one budget covers the whole ``request()``
   call: each attempt's socket timeout is clipped to the remaining
   budget, the *remaining* (not original) budget rides the frame header
@@ -22,6 +32,11 @@ blocking client built for the fail-soft story the gateway exports —
   budget raises a classified
   :class:`~repro.service.admission.DeadlineError` instead of burning a
   retry that cannot finish.
+
+``addresses`` may also be a **callable** returning the current replica
+slot list (entries may be ``None`` for a slot that is down) — the hook
+:class:`~repro.service.supervisor.FleetSupervisor` uses to hand clients
+a live topology whose ports change as replicas restart.
 
 A torn response (connection cut mid-frame, CRC mismatch) is always
 *detected* — the CRC trailer covers header and payload — and counts as
@@ -35,6 +50,7 @@ from __future__ import annotations
 import random
 import socket
 import time
+import zlib
 
 from ..harness.parallel import backoff_delay
 from .admission import Deadline, DeadlineError
@@ -47,7 +63,12 @@ from .wire import (
     encode_frame,
 )
 
-__all__ = ["GatewayClient", "parse_address"]
+__all__ = ["GatewayClient", "parse_address", "shard_index"]
+
+#: the gateway's default flow — mirrored here so the client-side shard
+#: hash agrees with the server-side request defaults.
+DEFAULT_FLOW = "split_vec_gcc4cli"
+DEFAULT_TARGET = "sse"
 
 
 def parse_address(addr) -> tuple[str, int]:
@@ -61,15 +82,43 @@ def parse_address(addr) -> tuple[str, int]:
     return (str(host), int(port))
 
 
+def shard_index(payload: dict, n_slots: int) -> int:
+    """Deterministic replica placement for a compile payload.
+
+    The request *shape* — (kernel, flow, target, size, force_scalar) —
+    deterministically yields the canonical bytecode and therefore the
+    service-side :class:`~repro.service.cache.CacheKey`, so hashing the
+    shape places every request for one cache key on one replica without
+    the client ever computing bytecode.  CRC-32 over a canonical shape
+    string keeps placement stable across processes and Python versions
+    (``hash()`` is salted; it would reshuffle the shard map per run).
+    """
+    if n_slots <= 1:
+        return 0
+    shape = "\x00".join(
+        str(payload.get(k, d))
+        for k, d in (
+            ("kernel", ""),
+            ("flow", DEFAULT_FLOW),
+            ("target", DEFAULT_TARGET),
+            ("size", None),
+            ("force_scalar", False),
+        )
+    )
+    return (zlib.crc32(shape.encode("utf-8")) & 0xFFFFFFFF) % n_slots
+
+
 class GatewayClient:
     """A blocking client for one or more gateway replicas.
 
-    ``addresses`` is an ordered replica list; the client sticks to one
-    connection while it works and rotates on failure.  ``retries`` is
-    the number of *additional* attempts after the first (each attempt
-    may land on a different replica).  ``attempt_timeout_s`` bounds any
-    single socket operation; the per-request ``deadline_s`` bounds the
-    whole call, retries and backoff included.
+    ``addresses`` is the replica slot list — static (list of
+    ``HOST:PORT`` / ``(host, port)``) or a callable returning the
+    current slots, where ``None`` marks a slot whose replica is down.
+    ``retries`` is the number of *additional* attempts after the first;
+    each attempt walks the per-call ordering (shard owner first, then
+    the jittered remainder).  ``attempt_timeout_s`` bounds any single
+    socket operation; the per-request ``deadline_s`` bounds the whole
+    call, retries and backoff included.
     """
 
     def __init__(
@@ -81,22 +130,33 @@ class GatewayClient:
         backoff_cap: float = 0.5,
         attempt_timeout_s: float | None = 10.0,
         connect_timeout_s: float = 5.0,
+        dead_cooldown_s: float = 1.0,
         seed: int = 0,
     ) -> None:
-        if isinstance(addresses, (str, tuple)):
-            addresses = [addresses]
-        self.addresses = [parse_address(a) for a in addresses]
-        if not self.addresses:
-            raise ValueError("need at least one gateway address")
+        self._provider = None
+        if callable(addresses):
+            self._provider = addresses
+            self.addresses: list = []
+        else:
+            if isinstance(addresses, (str, tuple)):
+                addresses = [addresses]
+            self.addresses = [parse_address(a) for a in addresses]
+            if not self.addresses:
+                raise ValueError("need at least one gateway address")
         self.retries = int(retries)
         self.backoff_base = float(backoff_base)
         self.backoff_cap = float(backoff_cap)
         self.attempt_timeout_s = attempt_timeout_s
         self.connect_timeout_s = float(connect_timeout_s)
+        self.dead_cooldown_s = float(dead_cooldown_s)
         self._rng = random.Random(seed)
-        self._sock: socket.socket | None = None
-        self._sock_addr: tuple[str, int] | None = None
-        self._addr_index = 0
+        #: one cached connection per replica address (bounded by the
+        #: replica count) — sharded traffic alternates shard owners, and
+        #: reconnecting per alternation would swamp the shard benefit.
+        self._socks: dict[tuple[str, int], socket.socket] = {}
+        #: address -> monotonic time of its last wire failure; used to
+        #: demote recently dead replicas to the back of the call order.
+        self._failed_at: dict[tuple[str, int], float] = {}
         self.attempts = 0
         self.failovers = 0
         self.wire_errors = 0
@@ -104,7 +164,8 @@ class GatewayClient:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        self._drop_connection()
+        for addr in list(self._socks):
+            self._drop_connection(addr)
 
     def __enter__(self) -> "GatewayClient":
         return self
@@ -113,14 +174,58 @@ class GatewayClient:
         self.close()
         return False
 
-    def _drop_connection(self) -> None:
-        if self._sock is not None:
+    def _drop_connection(self, addr) -> None:
+        sock = self._socks.pop(addr, None)
+        if sock is not None:
             try:
-                self._sock.close()
+                sock.close()
             except OSError:
                 pass
-            self._sock = None
-            self._sock_addr = None
+
+    # -- topology -------------------------------------------------------------
+
+    def _slots(self) -> list:
+        """Current replica slots (``None`` entries = down)."""
+        if self._provider is not None:
+            slots = list(self._provider())
+            return [None if a is None else parse_address(a) for a in slots]
+        return list(self.addresses)
+
+    def _call_order(self, payload: dict) -> list:
+        """The re-derived per-call replica ordering.
+
+        Shard owner first (compile payloads), then the remaining live
+        replicas rotated by a seeded jitter so failover traffic spreads;
+        any replica that failed within ``dead_cooldown_s`` is demoted to
+        the back — still reachable (it may have just restarted) but
+        never first in line while presumed dead.
+        """
+        slots = self._slots()
+        live = [a for a in slots if a is not None]
+        if not live:
+            raise NetworkError("connect", "no live gateway replicas")
+        if len(live) == 1:
+            return live
+        if payload.get("op", "compile") == "compile":
+            first_slot = shard_index(payload, len(slots))
+        else:
+            first_slot = self._rng.randrange(len(slots))
+        first = slots[first_slot]
+        rest = [a for a in live if a != first]
+        if rest:
+            rot = self._rng.randrange(len(rest))
+            rest = rest[rot:] + rest[:rot]
+        order = ([first] if first is not None else []) + rest
+        # Cooldown demotion: a recently dead shard owner must not eat a
+        # connect failure on every call for the whole cooldown window.
+        now = time.monotonic()
+        fresh_dead = [
+            a for a in order
+            if now - self._failed_at.get(a, -1e9) < self.dead_cooldown_s
+        ]
+        if fresh_dead and len(fresh_dead) < len(order):
+            order = [a for a in order if a not in fresh_dead] + fresh_dead
+        return order
 
     # -- request API ----------------------------------------------------------
 
@@ -136,33 +241,43 @@ class GatewayClient:
         deadline = Deadline(deadline_s)
         last_exc: Exception | None = None
         last_resp: dict | None = None
+        prev_addr = None
         for attempt in range(1, self.retries + 2):
             if deadline.expired():
                 break
+            # Re-derive the ordering every attempt: under a supervisor
+            # the topology changes mid-call (a replica dies, its slot
+            # reads None, a restart brings it back), and each attempt
+            # must see the *current* world, not the one at call entry.
+            try:
+                order = self._call_order(payload)
+            except NetworkError as exc:
+                # transient zero capacity — back off and look again
+                last_exc, last_resp = exc, None
+                self._backoff(attempt, deadline)
+                continue
+            addr = order[(attempt - 1) % len(order)]
+            if prev_addr is not None and addr != prev_addr:
+                self.failovers += 1
+            prev_addr = addr
             self.attempts += 1
             try:
-                resp = self._attempt(payload, deadline)
+                resp = self._attempt(addr, payload, deadline)
             except NetworkError as exc:
                 self.wire_errors += 1
+                self._failed_at[addr] = time.monotonic()
                 last_exc, last_resp = exc, None
             else:
+                self._failed_at.pop(addr, None)
                 if not self._should_failover(resp):
                     return resp
                 last_exc, last_resp = None, resp
-            # Transient failure: rotate to the next replica and back
-            # off (clipped to the remaining budget — a sleep that
+            # Transient failure: the next attempt walks on to the next
+            # replica in the re-derived ordering, after a jittered
+            # backoff (clipped to the remaining budget — a sleep that
             # outlives the deadline is worse than giving up).
-            self._rotate()
             if attempt <= self.retries:
-                delay = backoff_delay(
-                    attempt, base=self.backoff_base, cap=self.backoff_cap,
-                    rng=self._rng,
-                )
-                rem = deadline.remaining()
-                if rem is not None:
-                    delay = min(delay, rem)
-                if delay > 0:
-                    time.sleep(delay)
+                self._backoff(attempt, deadline)
         if deadline.expired() and last_resp is None:
             exhausted = DeadlineError(
                 f"deadline of {deadline.budget_s:.3f}s expired after "
@@ -180,8 +295,8 @@ class GatewayClient:
         self,
         kernel: str,
         *,
-        flow: str = "split_vec_gcc4cli",
-        target: str = "sse",
+        flow: str = DEFAULT_FLOW,
+        target: str = DEFAULT_TARGET,
         size: int | None = None,
         deadline_s: float | None = None,
     ) -> dict:
@@ -204,6 +319,17 @@ class GatewayClient:
 
     # -- internals ------------------------------------------------------------
 
+    def _backoff(self, attempt: int, deadline: Deadline) -> None:
+        delay = backoff_delay(
+            attempt, base=self.backoff_base, cap=self.backoff_cap,
+            rng=self._rng,
+        )
+        rem = deadline.remaining()
+        if rem is not None:
+            delay = min(delay, rem)
+        if delay > 0:
+            time.sleep(delay)
+
     @staticmethod
     def _should_failover(resp: dict) -> bool:
         """Fast classified rejections worth retrying elsewhere: a shed
@@ -215,12 +341,6 @@ class GatewayClient:
             and resp.get("error") == "DrainError"
         )
 
-    def _rotate(self) -> None:
-        self._drop_connection()
-        if len(self.addresses) > 1:
-            self._addr_index = (self._addr_index + 1) % len(self.addresses)
-            self.failovers += 1
-
     def _attempt_timeout(self, deadline: Deadline) -> float | None:
         timeout = self.attempt_timeout_s
         rem = deadline.remaining()
@@ -228,11 +348,10 @@ class GatewayClient:
             timeout = rem if timeout is None else min(timeout, rem)
         return timeout
 
-    def _connect(self, timeout: float | None) -> socket.socket:
-        addr = self.addresses[self._addr_index]
-        if self._sock is not None and self._sock_addr == addr:
-            return self._sock
-        self._drop_connection()
+    def _connect(self, addr, timeout: float | None) -> socket.socket:
+        sock = self._socks.get(addr)
+        if sock is not None:
+            return sock
         connect_timeout = self.connect_timeout_s
         if timeout is not None:
             connect_timeout = min(connect_timeout, max(0.001, timeout))
@@ -243,12 +362,12 @@ class GatewayClient:
                 "connect", f"cannot connect to {addr[0]}:{addr[1]}: {exc}"
             ) from None
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._sock, self._sock_addr = sock, addr
+        self._socks[addr] = sock
         return sock
 
-    def _attempt(self, payload: dict, deadline: Deadline) -> dict:
+    def _attempt(self, addr, payload: dict, deadline: Deadline) -> dict:
         timeout = self._attempt_timeout(deadline)
-        sock = self._connect(timeout)
+        sock = self._connect(addr, timeout)
         sock.settimeout(timeout)
         # The *remaining* budget rides the header — transit and queueing
         # on the gateway side spend the caller's budget, not a fresh one.
@@ -257,15 +376,15 @@ class GatewayClient:
             sock.sendall(frame)
             return self._read_response(sock)
         except NetworkError:
-            self._drop_connection()
+            self._drop_connection(addr)
             raise
         except socket.timeout:
-            self._drop_connection()
+            self._drop_connection(addr)
             raise NetworkError(
                 "timeout", f"no complete response within {timeout}s"
             ) from None
         except OSError as exc:
-            self._drop_connection()
+            self._drop_connection(addr)
             raise NetworkError(
                 "reset", f"connection failed mid-request: {exc}"
             ) from None

@@ -44,6 +44,8 @@ faults fire in the worker's JIT, deterministically.
 from __future__ import annotations
 
 import atexit
+import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -109,11 +111,43 @@ _W_RUNNERS: dict = {}
 _W_INSTANCES: dict = {}
 
 
+#: how often a farm worker checks that its parent service is alive.
+_PARENT_WATCH_INTERVAL_S = 0.5
+
+
+def _watch_parent() -> None:
+    """Worker-side dead-man's switch: exit when the parent dies.
+
+    ``atexit`` and ``close()`` reap workers on every *polite* teardown,
+    but a ``kill -9`` of the service process runs neither — and a
+    fork-spawned pool worker blocked on its job queue would sit orphaned
+    forever (the queue's write end survives in sibling workers, so no
+    EOF ever arrives).  A daemon thread polls ``os.getppid()`` instead:
+    when the parent dies the worker is reparented (to init or a
+    subreaper), the ppid changes, and the worker hard-exits.  This is
+    what makes the fleet invariant — *zero leaked farm workers after a
+    replica SIGKILL* — true by construction rather than by cleanup.
+    """
+    parent = os.getppid()
+
+    def watch() -> None:
+        while True:
+            if os.getppid() != parent:
+                os._exit(0)
+            time.sleep(_PARENT_WATCH_INTERVAL_S)
+
+    threading.Thread(
+        target=watch, name="repro-farm-parent-watch", daemon=True
+    ).start()
+
+
 def _warm_worker() -> None:
     """Pool initializer: pay the import bill at spawn time, not on the
-    first dispatched job."""
+    first dispatched job, and arm the parent-death watchdog."""
     from .. import jit  # noqa: F401  (imported for its side effects)
     from ..harness import flows  # noqa: F401
+
+    _watch_parent()
 
 
 def _w_runner(runner_kwargs: dict | None):

@@ -66,6 +66,7 @@ class _Driver:
         self.fn = fn
         self.config = config
         self.report: dict[str, str] = {}
+        self._loop_keys: dict[int, str] = {}
 
     def run(self) -> Function:
         self._process_block(self.fn.body)
@@ -220,7 +221,15 @@ class _Driver:
         return True
 
     def _key(self, loop: ForLoop) -> str:
-        return f"loop_{loop.iv.name}_{loop.id}"
+        # Keyed by per-function discovery order, not ``loop.id``: the
+        # global instruction counter depends on everything compiled
+        # before in this process, and the report is encoded into the
+        # canonical bytecode — replicas must produce identical bytes.
+        key = self._loop_keys.get(id(loop))
+        if key is None:
+            key = f"loop_{loop.iv.name}_{len(self._loop_keys)}"
+            self._loop_keys[id(loop)] = key
+        return key
 
 
 def _region_or_none(info, legal, config):

@@ -442,14 +442,24 @@ def test_client_retries_through_injected_conn_drop(stack, client):
 
 
 def test_client_fails_over_to_live_replica(stack):
-    """Replica 0 is down; the client rotates and succeeds on replica 1."""
+    """The shard-owner replica is down; the client fails over to the
+    live remainder and succeeds."""
+    from repro.service.client import shard_index
+
     _, gw = stack
     # A bound-then-closed socket yields a port nothing listens on.
     probe = socket.socket()
     probe.bind(("127.0.0.1", 0))
     dead_addr = probe.getsockname()
     probe.close()
-    c = GatewayClient([dead_addr, gw.address], retries=2,
+    # Place the dead replica at the slot the shard hash picks first, so
+    # the first attempt deterministically eats a classified connect
+    # failure and the call must fail over.
+    payload = _compile_payload()
+    slots = [None, None]
+    slots[shard_index(payload, 2)] = dead_addr
+    slots[slots.index(None)] = gw.address
+    c = GatewayClient(slots, retries=2,
                       backoff_base=0.001, backoff_cap=0.01, seed=0)
     try:
         resp = c.compile_run("saxpy_fp", size=SIZE)
@@ -545,8 +555,8 @@ def test_sigterm_drains_gateway_and_reaps_farm(tmp_path):
     )
     try:
         line = proc.stdout.readline()
-        assert "gateway listening on" in line, line
-        addr = line.split("listening on", 1)[1].split()[0]
+        assert line.startswith("LISTENING "), line
+        addr = line.split()[1]
         c = GatewayClient([addr], retries=2, seed=0)
         try:
             stats = c.stats(deadline_s=30.0)

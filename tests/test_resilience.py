@@ -286,6 +286,25 @@ def test_classify_tag_space_includes_gateway_taxonomy():
     assert "DrainError" in errors.__all__
 
 
+def test_classify_tag_space_includes_fleet_taxonomy():
+    """Deliberate tag-space expansion (PR 8): the supervisor tier adds
+    exactly one classified failure mode — a fleet-capacity failure
+    (``FleetError``: a parked replica, a spawn that never announced,
+    zero live capacity).  Pinned so the tag space stays closed on
+    purpose."""
+    import repro.errors as errors
+    from repro.service.supervisor import FleetError
+
+    assert errors._HOMES["FleetError"] == "repro.service.supervisor"
+    assert errors.FleetError is FleetError
+    exc = FleetError("parked", "replica 0 parked: 5 restarts within 30s")
+    assert classify(exc) == "FleetError"
+    assert exc.kind == "parked"
+    assert "[parked]" in str(exc)
+    assert issubclass(FleetError, ReproError)
+    assert "FleetError" in errors.__all__
+
+
 def test_check_error_is_assertion_error():
     """Back-compat: harness check failures still satisfy AssertionError."""
     from repro.harness.flows import CheckError
