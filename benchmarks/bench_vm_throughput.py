@@ -1,9 +1,10 @@
-"""VM engine throughput: reference interpreter vs threaded code.
+"""VM engine throughput: reference interpreter vs threaded vs codegen.
 
 Measures wall-clock and instructions/second for the same compiled kernels
 under the decode-per-instruction reference interpreter
-(:class:`repro.machine.VM`) and the pre-decoded threaded engine
-(:mod:`repro.machine.threaded`).  The two are differential-tested to be
+(:class:`repro.machine.VM`), the pre-decoded threaded engine
+(:mod:`repro.machine.threaded`), and the source-generating codegen engine
+(:mod:`repro.machine.codegen`).  All three are differential-tested to be
 bit-identical (``tests/test_threaded_vm.py``), so this file measures the
 *only* way they are allowed to differ: host-machine speed.
 
@@ -49,19 +50,17 @@ def _bench_size(kernel, size):
     return kernel.default_size * BENCH_SIZE_SCALE
 
 
-def _best_of_interleaved(repeats, fn_a, fn_b):
-    """Best-of-``repeats`` for two competing functions, sampled in
-    alternation so host contention (this is often a noisy shared box)
-    hits both engines alike rather than whichever ran second."""
-    best_a = best_b = math.inf
+def _best_of_interleaved(repeats, *fns):
+    """Best-of-``repeats`` for competing functions, sampled in alternation
+    so host contention (this is often a noisy shared box) hits every
+    engine alike rather than whichever ran last."""
+    best = [math.inf] * len(fns)
     for _ in range(repeats):
-        start = time.perf_counter()
-        fn_a()
-        best_a = min(best_a, time.perf_counter() - start)
-        start = time.perf_counter()
-        fn_b()
-        best_b = min(best_b, time.perf_counter() - start)
-    return best_a, best_b
+        for i, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - start)
+    return best
 
 
 def measure(kernel_names=BENCH_KERNELS, size=None, repeats=3):
@@ -82,21 +81,27 @@ def measure(kernel_names=BENCH_KERNELS, size=None, repeats=3):
         # translation is one-time; report it but keep it out of the
         # steady-state timing (CompiledKernel caches it, like a sweep does)
         t_translate_start = time.perf_counter()
-        code = ck.threaded()
+        code = ck.translated("threaded")
         t_translate = time.perf_counter() - t_translate_start
+        t_cg_start = time.perf_counter()
+        cg = ck.translated("codegen")
+        t_cg_translate = time.perf_counter() - t_cg_start
 
         probe = code.run(inst.scalar_args, runner.make_buffers(inst))
         instructions = probe.instructions
-        VM(target).run(  # warm the reference path too
+        # warm the remaining paths too
+        cg.run(inst.scalar_args, runner.make_buffers(inst))
+        VM(target).run(
             ck.mfunc, inst.scalar_args, runner.make_buffers(inst)
         )
 
-        t_ref, t_thr = _best_of_interleaved(
+        t_ref, t_thr, t_cg = _best_of_interleaved(
             repeats,
             lambda: VM(target).run(
                 ck.mfunc, inst.scalar_args, runner.make_buffers(inst)
             ),
             lambda: code.run(inst.scalar_args, runner.make_buffers(inst)),
+            lambda: cg.run(inst.scalar_args, runner.make_buffers(inst)),
         )
         rows.append({
             "kernel": name,
@@ -105,27 +110,40 @@ def measure(kernel_names=BENCH_KERNELS, size=None, repeats=3):
             "instructions": instructions,
             "reference_seconds": round(t_ref, 6),
             "threaded_seconds": round(t_thr, 6),
+            "codegen_seconds": round(t_cg, 6),
             "translate_seconds": round(t_translate, 6),
+            "codegen_translate_seconds": round(t_cg_translate, 6),
             "reference_ips": round(instructions / t_ref),
             "threaded_ips": round(instructions / t_thr),
+            "codegen_ips": round(instructions / t_cg),
             "speedup": round(t_ref / t_thr, 2),
+            "codegen_speedup": round(t_ref / t_cg, 2),
+            "codegen_vs_threaded": round(t_thr / t_cg, 2),
         })
 
     total_instr = sum(r["instructions"] for r in rows)
     total_ref = sum(r["reference_seconds"] for r in rows)
     total_thr = sum(r["threaded_seconds"] for r in rows)
-    geomean = math.exp(
-        sum(math.log(r["speedup"]) for r in rows) / len(rows)
-    )
+    total_cg = sum(r["codegen_seconds"] for r in rows)
+
+    def _geomean(key):
+        return math.exp(sum(math.log(r[key]) for r in rows) / len(rows))
+
     return {
         "benchmark": "vm_throughput",
-        "engines": ["reference", "threaded"],
+        "engines": ["reference", "threaded", "codegen"],
         "rows": rows,
         "total_instructions": total_instr,
         "aggregate_reference_ips": round(total_instr / total_ref),
         "aggregate_threaded_ips": round(total_instr / total_thr),
+        "aggregate_codegen_ips": round(total_instr / total_cg),
         "aggregate_speedup": round(total_ref / total_thr, 2),
-        "geomean_speedup": round(geomean, 2),
+        "geomean_speedup": round(_geomean("speedup"), 2),
+        "aggregate_codegen_speedup": round(total_ref / total_cg, 2),
+        "geomean_codegen_speedup": round(_geomean("codegen_speedup"), 2),
+        "geomean_codegen_vs_threaded": round(
+            _geomean("codegen_vs_threaded"), 2
+        ),
     }
 
 
@@ -137,7 +155,12 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--size", type=int, default=None)
     parser.add_argument("--min-speedup", type=float, default=None,
-                        help="exit non-zero if geomean speedup is below this")
+                        help="exit non-zero if geomean threaded speedup is "
+                        "below this")
+    parser.add_argument("--min-codegen-vs-threaded", type=float, default=None,
+                        help="exit non-zero if geomean codegen-vs-threaded "
+                        "is below this (the CI quick gate uses 1.0: codegen "
+                        "must never regress below the threaded engine)")
     args = parser.parse_args(argv)
 
     kernels = QUICK_KERNELS if args.quick else BENCH_KERNELS
@@ -147,12 +170,17 @@ def main(argv=None) -> int:
     for r in payload["rows"]:
         print(f"{r['kernel']:14s} {r['instructions']:>9d} instr  "
               f"ref {r['reference_ips']:>9,d} i/s  "
-              f"threaded {r['threaded_ips']:>10,d} i/s  "
-              f"{r['speedup']:.2f}x")
-    print(f"aggregate: {payload['aggregate_reference_ips']:,} -> "
-          f"{payload['aggregate_threaded_ips']:,} i/s "
-          f"({payload['aggregate_speedup']:.2f}x, "
-          f"geomean {payload['geomean_speedup']:.2f}x)")
+              f"threaded {r['threaded_ips']:>10,d} i/s "
+              f"({r['speedup']:.2f}x)  "
+              f"codegen {r['codegen_ips']:>11,d} i/s "
+              f"({r['codegen_speedup']:.2f}x ref, "
+              f"{r['codegen_vs_threaded']:.2f}x thr)")
+    print(f"aggregate: ref {payload['aggregate_reference_ips']:,} i/s, "
+          f"threaded {payload['aggregate_threaded_ips']:,} i/s "
+          f"(geomean {payload['geomean_speedup']:.2f}x), "
+          f"codegen {payload['aggregate_codegen_ips']:,} i/s "
+          f"(geomean {payload['geomean_codegen_speedup']:.2f}x ref, "
+          f"{payload['geomean_codegen_vs_threaded']:.2f}x threaded)")
 
     with open(args.out, "w") as f:
         json.dump(payload, f, indent=2)
@@ -162,6 +190,13 @@ def main(argv=None) -> int:
     if args.min_speedup and payload["geomean_speedup"] < args.min_speedup:
         print(f"FAIL: geomean speedup {payload['geomean_speedup']} < "
               f"{args.min_speedup}", file=sys.stderr)
+        return 1
+    if (args.min_codegen_vs_threaded
+            and payload["geomean_codegen_vs_threaded"]
+            < args.min_codegen_vs_threaded):
+        print(f"FAIL: geomean codegen-vs-threaded "
+              f"{payload['geomean_codegen_vs_threaded']} < "
+              f"{args.min_codegen_vs_threaded}", file=sys.stderr)
         return 1
     return 0
 
@@ -173,9 +208,16 @@ def test_vm_throughput(benchmark):
     payload = once(benchmark, lambda: measure(QUICK_KERNELS, repeats=2))
     benchmark.extra_info["geomean_speedup"] = payload["geomean_speedup"]
     benchmark.extra_info["threaded_ips"] = payload["aggregate_threaded_ips"]
-    # The tentpole's reason to exist: a healthy multiple over the
-    # reference interpreter (conservative floor to absorb CI noise).
+    benchmark.extra_info["codegen_ips"] = payload["aggregate_codegen_ips"]
+    benchmark.extra_info["geomean_codegen_speedup"] = (
+        payload["geomean_codegen_speedup"]
+    )
+    # Each engine's reason to exist: a healthy multiple over the reference
+    # interpreter, and codegen at least matching threaded (conservative
+    # floors to absorb CI noise).
     assert payload["geomean_speedup"] >= 3.0
+    assert payload["geomean_codegen_speedup"] >= 6.0
+    assert payload["geomean_codegen_vs_threaded"] >= 1.0
 
 
 if __name__ == "__main__":

@@ -29,11 +29,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from . import obs
+from ._compat import warn_once
 from .bytecode import decode_function, encode_function
 from .frontend import compile_source
 from .ir import Function, Module
 from .jit import CompiledKernel, MonoJIT, NativeBackend, OptimizingJIT
-from .machine import VM, ArrayBuffer
+from .machine import ArrayBuffer
+from .machine.registry import DEFAULT_ENGINE, engine_names, get_engine
 from .machine.vm import RunResult, VMError
 from .targets import get_target
 from .targets.base import Target
@@ -68,8 +70,18 @@ COMPILERS = {
     "native": NativeBackend,
 }
 
-#: canonical engine names (bit-identical; threaded is ~5-6x faster).
-ENGINES = ("threaded", "reference")
+
+def __getattr__(name: str):
+    # Engines live in repro.machine.registry now; the old frozen tuple
+    # keeps working (reflecting whatever is currently registered) behind
+    # a one-time deprecation warning.
+    if name == "ENGINES":
+        warn_once(
+            "repro.api.ENGINES",
+            "repro.machine.registry.engine_names()",
+        )
+        return engine_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def resolve_target(target) -> Target:
@@ -80,12 +92,8 @@ def resolve_target(target) -> Target:
 
 
 def resolve_engine(engine: str) -> str:
-    """Validate/normalize an execution-engine name."""
-    if engine not in ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; one of {', '.join(ENGINES)}"
-        )
-    return engine
+    """Validate/normalize an execution-engine name (registry lookup)."""
+    return get_engine(engine).name
 
 
 def resolve_compiler(compiler):
@@ -169,24 +177,23 @@ def execute_phase(
     scalar_args: dict | None,
     arrays: dict | None,
     *,
-    engine: str = "threaded",
+    engine: str = DEFAULT_ENGINE,
 ) -> RunResult:
     """Cycle-cost execution of a compiled kernel (span: ``vm``).
 
-    This is the unified VM call site: it dispatches to the selected
-    engine, and feeds the metrics registry the engine's accounting
-    (``vm.runs`` / ``vm.cycles`` / ``vm.instructions`` / ``vm.traps``).
+    This is the unified VM call site: it dispatches through the engine
+    registry (:mod:`repro.machine.registry` — any registered engine is
+    selectable here by name), and feeds the metrics registry the
+    engine's accounting (``vm.runs`` / ``vm.cycles`` /
+    ``vm.instructions`` / ``vm.traps``).
     """
-    engine = resolve_engine(engine)
+    eng = get_engine(engine)
     with obs.span(
-        "vm", phase="vm", engine=engine, target=ck.target.name,
+        "vm", phase="vm", engine=eng.name, target=ck.target.name,
         function=ck.mfunc.name,
     ) as sp:
         try:
-            if engine == "threaded":
-                result = ck.threaded().run(scalar_args, arrays)
-            else:
-                result = VM(ck.target).run(ck.mfunc, scalar_args, arrays)
+            result = eng.run(ck, scalar_args, arrays)
         except VMError as exc:
             obs.count("vm.traps")
             sp.set(error=type(exc).__name__)
@@ -248,7 +255,9 @@ class Pipeline:
         ``"mono"`` | ``"gcc4cli"`` | ``"native"`` or a compiler
         class/instance (default ``gcc4cli``).
     ``engine``
-        ``"threaded"`` | ``"reference"`` (bit-identical engines).
+        any name from :func:`repro.machine.registry.engine_names`
+        (``threaded`` / ``codegen`` / ``reference`` built in — all
+        bit-identical; default ``threaded``).
     ``vectorize``
         False compiles the scalar bytecode directly (flow A/E shape).
     ``force_scalar``
@@ -272,7 +281,7 @@ class Pipeline:
         *,
         target="sse",
         compiler="gcc4cli",
-        engine: str = "threaded",
+        engine: str = DEFAULT_ENGINE,
         vectorize: bool = True,
         force_scalar: bool = False,
         roundtrip: bool = True,
@@ -448,7 +457,7 @@ def smoke_run(
     *,
     target="sse",
     compiler="gcc4cli",
-    engine: str = "threaded",
+    engine: str = DEFAULT_ENGINE,
     n: int = 32,
 ) -> RunResult | None:
     """JIT + execute ``fn`` on synthesized inputs (spans: jit, vm).

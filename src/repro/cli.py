@@ -588,8 +588,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flow", default="split_vec_gcc4cli")
     p.add_argument("--target", default="sse")
     p.add_argument("--size", type=int, default=None)
-    p.add_argument("--engine", default="threaded",
-                   choices=["threaded", "reference"],
+    from .machine.registry import DEFAULT_ENGINE, engine_names
+
+    p.add_argument("--engine", default=DEFAULT_ENGINE,
+                   choices=list(engine_names()),
                    help="execution engine (bit-identical results)")
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_run)

@@ -74,6 +74,7 @@ from ..bytecode import encode_module
 from ..errors import classify, is_classified
 from ..frontend import compile_source
 from ..kernels import get_kernel
+from ..machine.registry import engine_names
 from ..vectorizer import split_config, vectorize_module
 from .flows import CheckError, FlowRunner
 
@@ -240,7 +241,7 @@ def _trial_vm_mem(kernel: str, size: int, rng) -> ChaosTrial:
     after = rng.randrange(1, 80)
     fault = faults.MemFault(after=after)
     observed = {}
-    for engine in ("threaded", "reference"):
+    for engine in engine_names():
         plan = faults.FaultPlan([fault])
         try:
             result, _ck = _run_checked(

@@ -22,6 +22,7 @@ import numpy as np
 
 from .. import obs
 from ..api import execute_phase, resolve_engine
+from ..machine.registry import DEFAULT_ENGINE
 from ..bytecode import decode_function, encode_function
 from ..errors import ReproError
 from ..frontend import compile_source
@@ -97,7 +98,7 @@ class FlowRunner:
         check: bool = True,
         vectorizer_overrides: dict | None = None,
         use_bytecode_roundtrip: bool = True,
-        engine: str = "threaded",
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         self.base_misalign = base_misalign
         self.check = check

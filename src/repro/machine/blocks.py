@@ -1,0 +1,101 @@
+"""Shared basic-block machinery for the translating VM engines.
+
+Both the threaded-code engine (:mod:`repro.machine.threaded`) and the
+source-generating engine (:mod:`repro.machine.codegen`) translate an
+:class:`~repro.machine.mir.MFunction` block-wise: partition the flat
+instruction stream into basic blocks, pre-aggregate each block's cycle
+cost (including the x87 scalar-FP surcharge) and per-op counts, and then
+charge one precomputed sum per block at run time.  Keeping the partition
+and the cost aggregation in one module is what makes the two engines'
+*accounting* identical by construction — the per-block sums add exactly
+the terms the reference interpreter adds, and every cost is a small
+dyadic rational (a multiple of 0.5), so float addition is exact and
+re-association cannot change the total.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..ir.types import ScalarType
+from ..targets.base import X87_FP_EXTRA
+from .vm import _FP_SCALAR_OPS
+
+__all__ = [
+    "TERMINATORS",
+    "partition",
+    "instr_cost",
+    "block_accounting",
+    "loop_depths",
+]
+
+#: control-transfer opcodes that end a basic block.
+TERMINATORS = ("br", "brtrue", "brfalse", "ret")
+
+
+def partition(instrs) -> tuple[list[int], dict[int, int]]:
+    """Partition a flat instruction list into basic blocks.
+
+    Leaders are the entry point, every ``label``, and every instruction
+    following a terminator.  Returns ``(starts, block_at)`` where
+    ``starts`` is the sorted list of leader indices and ``block_at`` maps
+    a leader's instruction index to its block index.
+    """
+    n = len(instrs)
+    leaders = {0}
+    for i, ins in enumerate(instrs):
+        if ins.op == "label":
+            leaders.add(i)
+        elif ins.op in TERMINATORS:
+            leaders.add(i + 1)
+    leaders.discard(n)
+    starts = sorted(leaders)
+    return starts, {s: bi for bi, s in enumerate(starts)}
+
+
+def instr_cost(ins, cost, x87: bool) -> float:
+    """One instruction's cycle cost, including the x87 FP surcharge.
+
+    The surcharge depends only on static instruction properties (opcode +
+    immediate type), which is why both translating engines can fold it
+    into per-block sums at translate time.
+    """
+    c = cost.get(ins.op)
+    if x87 and ins.op in _FP_SCALAR_OPS:
+        t = ins.imm.get("type")
+        if isinstance(t, ScalarType) and t.is_float:
+            c += X87_FP_EXTRA
+    return c
+
+
+def block_accounting(body, cost, x87: bool) -> tuple[float, dict[str, int]]:
+    """Pre-aggregate one block's ``(cycle_sum, per_op_counts)``."""
+    cycles = 0.0
+    op_counts: Counter[str] = Counter()
+    for ins in body:
+        cycles += instr_cost(ins, cost, x87)
+        op_counts[ins.op] += 1
+    return cycles, dict(op_counts)
+
+
+def loop_depths(starts, instrs, labels, block_at) -> list[int]:
+    """Static loop depth per block, from backward-branch ranges.
+
+    Every branch from block ``b`` back to an earlier (or the same) block
+    ``h`` marks the layout range ``[h, b]`` as one loop level.  The MIR
+    produced by :mod:`repro.machine.flatten` is fully structured, so
+    layout ranges coincide with loop bodies; the codegen engine uses the
+    depths only to order its dispatch chain (hot blocks first), so an
+    imprecise depth can never affect correctness.
+    """
+    n = len(instrs)
+    depths = [0] * len(starts)
+    for bi, s in enumerate(starts):
+        e = starts[bi + 1] if bi + 1 < len(starts) else n
+        term = instrs[e - 1]
+        if term.op in ("br", "brtrue", "brfalse"):
+            tk = block_at[labels[term.imm["label"]]]
+            if tk <= bi:
+                for j in range(tk, bi + 1):
+                    depths[j] += 1
+    return depths

@@ -1,0 +1,1688 @@
+"""Source-generating execution engine: MIR -> Python superinstructions.
+
+The third VM engine (ROADMAP item 2).  Where the threaded engine
+(:mod:`repro.machine.threaded`) pre-decodes every instruction into one
+closure and still pays a Python call per instruction, this engine
+**generates Python source** for the whole function:
+
+* each basic block becomes one straight-line run of statements inside a
+  single ``compile()``d function — zero per-instruction dispatch, no
+  closure calls, virtual registers bound as plain locals (``r0``,
+  ``r1``, ...) and immediates folded into the source;
+* block accounting is shared with the threaded engine via
+  :mod:`repro.machine.blocks`: one pre-summed ``_cy += <const>`` /
+  ``_n += <count>`` per block; a block that would cross the instruction
+  budget is replayed per instruction *in generated code* with
+  per-instruction budget checks, so the trap raised (budget exhaustion
+  vs. an earlier alignment fault inside the block) is exactly the
+  reference VM's;
+* counted loops additionally get a **batch plan** (``_BatchPlan``):
+  on loop-header entry the plan computes the trip count from the live
+  induction-variable value and — when the body is a supported streaming
+  shape — executes ``trip - 1`` iterations as whole-array numpy slice
+  operations (one numpy op per MIR instruction for the *entire batch*),
+  then lets the final iteration run normally so every register, spill
+  slot, and trap is materialized exactly as the reference interpreter
+  would.  Any check that fails simply abandons the batch *before any
+  memory write*, and normal per-block execution reproduces the
+  reference behaviour, traps included.
+
+Cycle parity is exact for the same reason as the threaded engine's:
+every per-op cost is a small dyadic rational (a multiple of 0.5), so
+float addition is exact and charging ``k * block_cycles`` equals the
+sequential sum.  Fault injection is honored by construction: every
+memory access in generated code checks the ``faults.mem_hook`` first,
+and batch plans only run while no hook is installed.
+
+Determinism: the generated source depends only on the MIR instruction
+list, the target, and ``count_ops``.  Register names are dense
+first-use slot indices (never the process-global ``VReg.id``), arrays
+are numbered in declaration order, and interned constants are numbered
+in first-use order — no process-global counters, no ``hash()`` — so two
+fresh processes translating the same function emit byte-identical
+source (the PR 8 warm-byte-identity invariant).
+``tests/test_codegen_vm.py`` regression-tests this across processes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from .. import faults
+from ..ir.types import ScalarType
+from ..targets.base import Target
+from .blocks import TERMINATORS, block_accounting, loop_depths, partition
+from .memory import GUARD_BYTES, ArrayBuffer
+from .mir import MFunction, MInstr
+from .threaded import _CMP_OPERATORS, _I8_ONE, _I8_ZERO
+from .vm import (
+    _BIN_FUNCS,
+    _CMP,
+    _SCALAR_BIN,
+    _SCALAR_UN,
+    _UN_FUNCS,
+    _VECTOR_BIN,
+    _VECTOR_UN,
+    _canon,
+    RunResult,
+    VMError,
+)
+
+__all__ = ["CodegenCode", "translate"]
+
+#: Python comparison operators per cmp kind (generated inline).
+_PYCMP = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+#: a batch must cover at least this many iterations to be worth taking:
+#: the abstract walk costs one numpy call per body instruction, which only
+#: amortizes over a few dozen skipped iterations (shorter trips — e.g. the
+#: inner loops of the blocked MMM kernels — run faster as plain
+#: superinstructions).
+_MIN_BATCH = 32
+
+#: upper bound on iterations per batch (bounds slice working-set size; the
+#: plan simply re-batches on the next header entry).
+_MAX_BATCH = 1 << 20
+
+_INDENT = "    "
+
+
+def _escape_pct(text: str) -> str:
+    """Escape ``%`` for embedding in a %%-format template."""
+    return text.replace("%", "%%")
+
+
+class _Ns:
+    """Deterministic namespace for the generated module.
+
+    Values that cannot be spelled as literals (dtypes, numpy scalar
+    constants, tiled vector constants, shared op tables, batch plans) are
+    bound to names numbered in first-use order with per-prefix counters,
+    memoized by a value-derived key — never ``id()`` or ``hash()`` of an
+    object, so the emitted source is process-independent.
+    """
+
+    def __init__(self):
+        self.ns = {
+            "_np": np,
+            "_F": faults,
+            "_VMError": VMError,
+            "_i0": np.int8(0),
+            "_i1": np.int8(1),
+        }
+        self._memo: dict[tuple, str] = {}
+        self._counters: dict[str, int] = {}
+
+    def bind(self, prefix: str, key: tuple, value) -> str:
+        name = self._memo.get((prefix, key))
+        if name is None:
+            i = self._counters.get(prefix, 0)
+            self._counters[prefix] = i + 1
+            name = f"{prefix}{i}"
+            self._memo[(prefix, key)] = name
+            self.ns[name] = value
+        return name
+
+    def bind_named(self, name: str, value) -> str:
+        self.ns.setdefault(name, value)
+        return name
+
+
+class _Writer:
+    """Indented source accumulator."""
+
+    def __init__(self):
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def w(self, line: str = "") -> None:
+        self.lines.append(_INDENT * self.depth + line if line else "")
+
+    def block(self, lines: list[str]) -> None:
+        pad = _INDENT * self.depth
+        for line in lines:
+            self.lines.append(pad + line)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _Emitter:
+    """Translates one ``MFunction`` into Python source + namespace.
+
+    The per-op emission mirrors the threaded engine's closures statement
+    for statement (same numpy calls, same check order, same messages), so
+    values and traps are identical by construction.
+    """
+
+    def __init__(self, mfunc: MFunction, target: Target, count_ops: bool,
+                 cells: list):
+        self.mfunc = mfunc
+        self.target = target
+        self.count_ops = count_ops
+        self.cells = cells                       # [ [buf] ] per array
+        self.vs = target.vector_size
+        self.names = _Ns()
+        self._slot_of: dict[int, int] = {}
+        self._arr_index = {
+            slot.name: i for i, slot in enumerate(mfunc.arrays)
+        }
+        self.block_op_counts: list[dict] = []
+        self.plans: list = []
+
+    # -- naming ---------------------------------------------------------
+
+    def _slot(self, reg) -> int:
+        s = self._slot_of.get(reg.id)
+        if s is None:
+            s = self._slot_of[reg.id] = len(self._slot_of)
+        return s
+
+    def _dt(self, dt: np.dtype) -> str:
+        return self.names.bind("_dt", (dt.str,), dt)
+
+    def _T(self, dt: np.dtype) -> str:
+        return self.names.bind("_T", (dt.str,), dt.type)
+
+    def _guard(self, expr: str, dt: np.dtype) -> str:
+        """Threaded-exact scalar operand normalization as an expression."""
+        T = self._T(dt)
+        return f"({expr} if type({expr}) is {T} else {T}({expr}))"
+
+    # -- per-instruction emission ---------------------------------------
+
+    def emit(self, ins: MInstr) -> list[str]:  # noqa: C901
+        op = ins.op
+        imm = ins.imm
+        d = f"r{self._slot(ins.dst)}" if ins.dst is not None else None
+        ss = [f"r{self._slot(r)}" for r in ins.srcs]
+        vs = self.vs
+
+        if op == "const":
+            v = imm["type"].numpy_dtype.type(imm["value"])
+            k = self.names.bind(
+                "_k", (imm["type"].numpy_dtype.str, repr(v)), v
+            )
+            return [f"{d} = {k}"]
+
+        if op == "mov":
+            return [f"{d} = {ss[0]}"]
+
+        if op == "lea":
+            scale = imm.get("scale", 1)
+            offset = imm.get("offset", 0)
+            if scale == 1 and offset == 0:
+                return [f"{d} = int({ss[0]})"]
+            if scale == 1:
+                return [f"{d} = int({ss[0]}) + {offset}"]
+            return [f"{d} = int({ss[0]}) * {scale} + {offset}"]
+
+        if op in _SCALAR_BIN:
+            dt = imm["type"].numpy_dtype
+            a = self._guard(ss[0], dt)
+            b = self._guard(ss[1], dt)
+            if op == "add":
+                return [f"{d} = {a} + {b}"]
+            if op == "sub":
+                return [f"{d} = {a} - {b}"]
+            if op == "mul":
+                return [f"{d} = {a} * {b}"]
+            fn = self.names.bind_named(f"_f_{op}", _BIN_FUNCS[op])
+            return [f"{d} = {fn}({a}, {b}, {self._dt(dt)})"]
+
+        if op in _SCALAR_UN:
+            dt = imm["type"].numpy_dtype
+            fn = self.names.bind_named(f"_u_{op}", _UN_FUNCS[op])
+            return [f"{d} = {fn}({self._guard(ss[0], dt)}, {self._dt(dt)})"]
+
+        if op == "cmp":
+            pyop = _PYCMP[imm["op"]]
+            return [f"{d} = _i1 if {ss[0]} {pyop} {ss[1]} else _i0"]
+
+        if op == "select":
+            return [f"{d} = {ss[1]} if {ss[0]} else {ss[2]}"]
+
+        if op == "cvt":
+            to: ScalarType = imm["to"]
+            T = self._T(to.numpy_dtype)
+            if to.is_float:
+                return [f"{d} = {T}({ss[0]})"]
+            return [
+                f"_v = {ss[0]}",
+                "if isinstance(_v, (_np.floating, float)):",
+                "    _v = int(_v)",
+                f"{d} = {T}(_np.int64(_v))",
+            ]
+
+        if op == "load":
+            ai = self._arr_index[imm["array"]]
+            dt = imm["type"].numpy_dtype
+            nb = dt.itemsize
+            oob = (
+                f"out-of-bounds access: offset %d, {nb} bytes (array of "
+                f"%d data bytes + {GUARD_BYTES} guard)"
+            )
+            return [
+                f"if _mh is not None: _mh('load', {imm['array']!r})",
+                f"_o = int({ss[0]})",
+                f"_s = _g{ai} + _o",
+                f"if _s < 0 or _s + {nb} > _L{ai}:",
+                f"    raise IndexError({oob!r} % (_o, _b{ai}.nbytes))",
+                f"{d} = _w{ai}[_s : _s + {nb}].view({self._dt(dt)})[0]",
+            ]
+
+        if op == "store":
+            ai = self._arr_index[imm["array"]]
+            dt = imm["type"].numpy_dtype
+            nb = dt.itemsize
+            oob = f"out-of-bounds store: offset %d, {nb} bytes"
+            return [
+                f"if _mh is not None: _mh('store', {imm['array']!r})",
+                f"_o = int({ss[0]})",
+                f"_s = _g{ai} + _o",
+                f"if _s < 0 or _s + {nb} > _L{ai}:",
+                f"    raise IndexError({oob!r} % (_o,))",
+                f"_w{ai}[_s : _s + {nb}].view({self._dt(dt)})[0] = {ss[1]}",
+            ]
+
+        if op == "spill_st":
+            return [f"_sp[{imm['slot']!r}] = {ss[0]}"]
+
+        if op == "spill_ld":
+            return [f"{d} = _sp[{imm['slot']!r}]"]
+
+        if op == "arr_overlap":
+            i1 = self._arr_index[imm["a1"]]
+            i2 = self._arr_index[imm["a2"]]
+            return [f"{d} = _i1 if _w{i1} is _w{i2} else _i0"]
+
+        if op == "arr_aligned":
+            ai = self._arr_index[imm["array"]]
+            return [f"{d} = _i1 if _g{ai} % {imm['align']} == 0 else _i0"]
+
+        return self._emit_vector(ins, op, imm, d, ss, vs)
+
+    def _emit_vector(self, ins, op, imm, d, ss, vs):  # noqa: C901
+        if op == "vconst":
+            elem: ScalarType = imm["elem"]
+            lanes = imm["lanes"]
+            values = imm["values"]
+            reps = -(-lanes // len(values))
+            v = np.tile(np.asarray(values, dtype=elem.numpy_dtype), reps)[
+                :lanes
+            ].copy()
+            k = self.names.bind(
+                "_K",
+                (elem.numpy_dtype.str, lanes, repr(tuple(values))),
+                v,
+            )
+            return [f"{d} = {k}"]
+
+        if op == "vsplat":
+            dt = imm["elem"].numpy_dtype
+            return [
+                f"{d} = _np.full({imm['lanes']}, {ss[0]}, "
+                f"dtype={self._dt(dt)})"
+            ]
+
+        if op == "vaffine":
+            dt = imm["elem"].numpy_dtype
+            T = self._T(dt)
+            idx = self.names.bind(
+                "_X", (dt.str, imm["lanes"]),
+                np.arange(imm["lanes"], dtype=dt),
+            )
+            return [
+                f"{d} = ({T}({ss[0]}) + {idx} * {T}({ss[1]}))"
+                f".astype({self._dt(dt)})"
+            ]
+
+        if op in ("vload_a", "vload_u", "vload_fa"):
+            name = imm["array"]
+            ai = self._arr_index[name]
+            dt = imm["elem"].numpy_dtype
+            nb = dt.itemsize * imm["lanes"]
+            oob = (
+                f"out-of-bounds access: offset %d, {nb} bytes (array of "
+                f"%d data bytes + {GUARD_BYTES} guard)"
+            )
+            lines = [
+                f"if _mh is not None: _mh({op!r}, {name!r})",
+                f"_o = int({ss[0]})",
+            ]
+            if op == "vload_fa":
+                lines.append(f"_o -= (_g{ai} + _o) % {vs}")
+            lines.append(f"_s = _g{ai} + _o")
+            if op == "vload_a":
+                mis = (
+                    f"aligned vector load from misaligned address (array "
+                    f"{_escape_pct(name)}, offset %d, addr%%{vs}=%d)"
+                )
+                lines += [
+                    f"if _s % {vs} != 0:",
+                    f"    raise _VMError({mis!r} % (_o, _s % {vs}))",
+                ]
+            lines += [
+                f"if _s < 0 or _s + {nb} > _L{ai}:",
+                f"    raise IndexError({oob!r} % (_o, _b{ai}.nbytes))",
+                f"{d} = _w{ai}[_s : _s + {nb}].view({self._dt(dt)}).copy()",
+            ]
+            return lines
+
+        if op in ("vstore_a", "vstore_u"):
+            name = imm["array"]
+            ai = self._arr_index[name]
+            lines = [
+                f"if _mh is not None: _mh({op!r}, {name!r})",
+                f"_o = int({ss[0]})",
+                f"_s = _g{ai} + _o",
+            ]
+            if op == "vstore_a":
+                mis = (
+                    f"aligned vector store to misaligned address (array "
+                    f"{_escape_pct(name)}, offset %d)"
+                )
+                lines += [
+                    f"if _s % {vs} != 0:",
+                    f"    raise _VMError({mis!r} % (_o,))",
+                ]
+            oob = "out-of-bounds store: offset %d, %d bytes"
+            lines += [
+                f"_v = {ss[1]}",
+                "if not _v.flags['C_CONTIGUOUS']:",
+                "    _v = _np.ascontiguousarray(_v)",
+                "_u = _v.view(_np.uint8)",
+                f"if _s < 0 or _s + _u.size > _L{ai}:",
+                f"    raise IndexError({oob!r} % (_o, _u.size))",
+                f"_w{ai}[_s : _s + _u.size] = _u",
+            ]
+            return lines
+
+        if op == "lvsr":
+            ai = self._arr_index[imm["array"]]
+            return [f"{d} = _np.int64((_g{ai} + int({ss[0]})) % {vs})"]
+
+        if op == "vperm":
+            return [
+                f"_v = _np.ascontiguousarray({ss[0]}).view(_np.uint8)",
+                f"_u = _np.ascontiguousarray({ss[1]}).view(_np.uint8)",
+                f"_t = int({ss[2]})",
+                f"{d} = _np.concatenate([_v, _u])[_t : _t + _v.size]"
+                f".view({ss[0]}.dtype).copy()",
+            ]
+
+        if op in _VECTOR_BIN:
+            dt = imm["elem"].numpy_dtype
+            dtn = self._dt(dt)
+            canon = _canon(op)
+            if canon in ("add", "sub", "mul"):
+                sym = {"add": "+", "sub": "-", "mul": "*"}[canon]
+                return [
+                    f"_r = {ss[0]} {sym} {ss[1]}",
+                    f"{d} = _r if _r.dtype == {dtn} "
+                    f"else _np.asarray(_r, dtype={dtn})",
+                ]
+            fn = self.names.bind_named(f"_f_{canon}", _BIN_FUNCS[canon])
+            return [
+                f"{d} = _np.asarray({fn}({ss[0]}, {ss[1]}, {dtn}), "
+                f"dtype={dtn})"
+            ]
+
+        if op in _VECTOR_UN:
+            dt = imm["elem"].numpy_dtype
+            dtn = self._dt(dt)
+            canon = _canon(op)
+            fn = self.names.bind_named(f"_u_{canon}", _UN_FUNCS[canon])
+            return [f"{d} = _np.asarray({fn}({ss[0]}, {dtn}), dtype={dtn})"]
+
+        if op == "vcmp":
+            fn = self.names.bind_named(f"_c_{imm['op']}", _CMP[imm["op"]])
+            return [f"{d} = {fn}({ss[0]}, {ss[1]}).astype(_np.int8)"]
+
+        if op == "vselect":
+            return [
+                f"{d} = _np.where({ss[0]}.astype(bool), {ss[1]}, {ss[2]})"
+            ]
+
+        if op == "vcvt":
+            to = imm["to"]
+            dtn = self._dt(to.numpy_dtype)
+            if to.is_float:
+                return [f"{d} = {ss[0]}.astype({dtn})"]
+            return [f"{d} = _np.trunc({ss[0]}).astype({dtn})"]
+
+        if op == "vinsert0":
+            return [
+                f"_v = {ss[0]}.copy()",
+                f"_v[0] = _v.dtype.type({ss[1]})",
+                f"{d} = _v",
+            ]
+
+        if op == "vreduce":
+            kind = imm["kind"]
+            if kind == "plus":
+                return [
+                    f"_v = {ss[0]}",
+                    f"{d} = _v.dtype.type(_np.add.reduce(_v))",
+                ]
+            if kind == "min":
+                return [f"{d} = {ss[0]}.min()"]
+            return [f"{d} = {ss[0]}.max()"]
+
+        if op == "vdot":
+            dtn = self._dt(imm["elem"].numpy_dtype)
+            return [
+                f"_v = {ss[0]}.astype({dtn}) * {ss[1]}.astype({dtn})",
+                f"{d} = ({ss[2]} + _v.reshape(-1, 2).sum(axis=1, "
+                f"dtype={dtn})).astype({dtn})",
+            ]
+
+        if op == "vwidenmul":
+            dtn = self._dt(imm["elem"].numpy_dtype)
+            sl = "0 : _m // 2" if imm["half"] == "lo" else "_m // 2 : _m"
+            return [
+                f"_v = {ss[0]}",
+                "_m = _v.size",
+                f"{d} = _v[{sl}].astype({dtn}) * {ss[1]}[{sl}]"
+                f".astype({dtn})",
+            ]
+
+        if op == "vpack":
+            dtn = self._dt(imm["elem"].numpy_dtype)
+            return [
+                f"{d} = _np.concatenate([{ss[0]}, {ss[1]}])"
+                f".astype({dtn})"
+            ]
+
+        if op == "vunpack":
+            dtn = self._dt(imm["elem"].numpy_dtype)
+            sl = "0 : _m // 2" if imm["half"] == "lo" else "_m // 2 : _m"
+            return [
+                f"_v = {ss[0]}",
+                "_m = _v.size",
+                f"{d} = _v[{sl}].astype({dtn})",
+            ]
+
+        if op == "vextract":
+            parts = ", ".join(ss)
+            return [
+                f"{d} = _np.concatenate([{parts}])"
+                f"[{imm['offset']}::{imm['stride']}].copy()"
+            ]
+
+        if op == "vinterleave":
+            sl = "0 : _m // 2" if imm["half"] == "lo" else "_m // 2 : _m"
+            return [
+                f"_v = {ss[0]}",
+                f"_u = {ss[1]}",
+                "_m = _v.size",
+                "_x = _np.empty(_m, dtype=_v.dtype)",
+                f"_x[0::2] = _v[{sl}]",
+                f"_x[1::2] = _u[{sl}]",
+                f"{d} = _x",
+            ]
+
+        if op == "call_lib":
+            # Library fallback: emit the emulated idiom's statements; the
+            # block accounting already charged call_lib's cost and counted
+            # the op as "call_lib", exactly like the reference VM.
+            return self.emit(MInstr(imm["sem"], ins.dst, ins.srcs, imm))
+
+        raise VMError(f"unknown opcode {op!r}")
+
+    # -- function assembly ----------------------------------------------
+
+    def _ret(self, val: str) -> str:
+        if self.count_ops:
+            return f"return ({val}, _cy, _n, _bc)"
+        return f"return ({val}, _cy, _n)"
+
+    def build(self) -> tuple[str, dict]:
+        """Emit the whole function; returns ``(source, namespace)``."""
+        mfunc = self.mfunc
+        # Dense register slots: parameters first, then first-use order.
+        for _name, _type, reg in mfunc.scalar_params:
+            self._slot(reg)
+        for ins in mfunc.instrs:
+            if ins.op == "label":
+                continue
+            if ins.op in TERMINATORS:
+                if ins.srcs:
+                    self._slot(ins.srcs[0])
+                continue
+            if ins.dst is not None:
+                self._slot(ins.dst)
+            for r in ins.srcs:
+                self._slot(r)
+
+        w = _Writer()
+        params = [f"r{self._slot(reg)}" for _, _, reg in mfunc.scalar_params]
+        bufs = [f"_b{i}" for i in range(len(mfunc.arrays))]
+        sig = ", ".join(["_maxi", "_sp"] + params + bufs)
+        w.w(f"def _kernel({sig}):")
+        w.depth += 1
+        instrs = mfunc.instrs
+        if not instrs:
+            w.w(
+                "return (None, 0.0, 0, [])" if self.count_ops
+                else "return (None, 0.0, 0)"
+            )
+            return w.source(), self.names.ns
+        w.w("_mh = _F.mem_hook")
+        for i in range(len(mfunc.arrays)):
+            w.w(f"_w{i} = _b{i}._raw")
+            w.w(f"_g{i} = _b{i}._base")
+            w.w(f"_L{i} = _w{i}.shape[0]")
+        w.w("_cy = 0.0")
+        w.w("_n = 0")
+
+        starts, block_at = partition(instrs)
+        nblocks = len(starts)
+        n = len(instrs)
+        labels = mfunc.labels()
+        cost = self.target.cost
+        x87 = bool(mfunc.meta.get("x87"))
+
+        if self.count_ops:
+            w.w(f"_bc = [0] * {nblocks}")
+        w.w("_bi = 0")
+
+        bodies: list[list] = []
+        accounting: list[tuple[int, float]] = []
+        for bi, s in enumerate(starts):
+            e = starts[bi + 1] if bi + 1 < nblocks else n
+            body = instrs[s:e]
+            bodies.append(body)
+            cyc, oc = block_accounting(body, cost, x87)
+            accounting.append((len(body), cyc))
+            self.block_op_counts.append(oc)
+
+        sites = self._find_plans(bodies, labels, block_at, accounting)
+
+        depths = loop_depths(starts, instrs, labels, block_at)
+        order = sorted(range(nblocks), key=lambda k: (-depths[k], k))
+
+        w.w(
+            "with _np.errstate(over='ignore', invalid='ignore', "
+            "divide='ignore'):"
+        )
+        w.depth += 1
+        w.w("while 1:")
+        w.depth += 1
+        for pos, bi in enumerate(order):
+            w.w(("if" if pos == 0 else "elif") + f" _bi == {bi}:")
+            w.depth += 1
+            self._emit_block(
+                w, bi, bodies[bi], accounting[bi], labels, block_at,
+                nblocks, sites.get(bi),
+            )
+            w.depth -= 1
+        w.w("else:")
+        w.depth += 1
+        w.w("raise AssertionError('unreachable block %r' % (_bi,))")
+        return w.source(), self.names.ns
+
+    def _emit_block(self, w, bi, body, acct, labels, block_at, nblocks,
+                    site):
+        count, cyc = acct
+        if site is not None:
+            pname, in_regs, iv_reg, body_bi = site
+            w.w("if _mh is None:")
+            w.depth += 1
+            w.w("try:")
+            w.w(
+                _INDENT + f"_t = {pname}.attempt(({', '.join(in_regs)},), "
+                "_sp, _n, _maxi)"
+            )
+            w.w("except NameError:")
+            w.w(_INDENT + "_t = None")
+            w.w("if _t is not None:")
+            w.depth += 1
+            w.w(f"{iv_reg} = _t[0]")
+            w.w("_n += _t[1]")
+            w.w("_cy += _t[2]")
+            if self.count_ops:
+                w.w(f"_bc[{bi}] += _t[3]")
+                w.w(f"_bc[{body_bi}] += _t[3]")
+            w.depth -= 2
+        w.w(f"_n += {count}")
+        w.w("if _n > _maxi:")
+        w.depth += 1
+        w.w(f"_n -= {count}")
+        msg = (
+            "instruction budget exceeded in "
+            f"{_escape_pct(self.mfunc.name)} (%d)"
+        )
+        for ins in body:
+            w.w("_n += 1")
+            w.w("if _n > _maxi:")
+            w.w(_INDENT + f"raise _VMError({msg!r} % (_maxi,))")
+            if ins.op != "label" and ins.op not in TERMINATORS:
+                w.block(self.emit(ins))
+        w.w("raise AssertionError('unreachable: overrun block must trap')")
+        w.depth -= 1
+        w.w(f"_cy += {cyc!r}")
+        if self.count_ops:
+            w.w(f"_bc[{bi}] += 1")
+        term = None
+        for ins in body:
+            if ins.op == "label":
+                continue
+            if ins.op in TERMINATORS:
+                term = ins
+                continue
+            w.block(self.emit(ins))
+        self._emit_terminator(w, term, bi, labels, block_at, nblocks)
+
+    def _emit_terminator(self, w, term, bi, labels, block_at, nblocks):
+        none_ret = self._ret("None")
+        if term is None:  # fallthrough
+            if bi + 1 < nblocks:
+                w.w(f"_bi = {bi + 1}")
+                w.w("continue")
+            else:
+                w.w(none_ret)
+            return
+        op = term.op
+        if op == "br":
+            w.w(f"_bi = {block_at[labels[term.imm['label']]]}")
+            w.w("continue")
+            return
+        if op == "ret":
+            if term.srcs:
+                w.w(self._ret(f"r{self._slot(term.srcs[0])}"))
+            else:
+                w.w(none_ret)
+            return
+        tk = block_at[labels[term.imm["label"]]]
+        fk = bi + 1 if bi + 1 < nblocks else -1
+        s = f"r{self._slot(term.srcs[0])}"
+        if fk >= 0:
+            if op == "brtrue":
+                w.w(f"_bi = {tk} if {s} else {fk}")
+            else:  # brfalse
+                w.w(f"_bi = {fk} if {s} else {tk}")
+            w.w("continue")
+            return
+        # Falling through would run off the end: halt with a None return.
+        if op == "brtrue":
+            w.w(f"if {s}:")
+            w.w(_INDENT + f"_bi = {tk}")
+            w.w(_INDENT + "continue")
+            w.w(none_ret)
+        else:  # brfalse: truthy predicate falls through (halts)
+            w.w(f"if {s}:")
+            w.w(_INDENT + none_ret)
+            w.w(f"_bi = {tk}")
+            w.w("continue")
+
+    # -- batch-plan discovery -------------------------------------------
+
+    def _find_plans(self, bodies, labels, block_at, accounting):
+        """Detect batchable counted loops; ``{header_bi: site}``.
+
+        A site is ``(plan_name, in_reg_names, iv_reg_name, body_bi)`` —
+        everything the emitted header needs to call the plan.
+        """
+        sites = {}
+        for bi in range(len(bodies) - 1):
+            plan = self._plan_for(bi, bodies, labels, block_at, accounting)
+            if plan is None:
+                continue
+            pname = self.names.bind("_P", (bi,), plan)
+            self.plans.append(plan)
+            in_regs = [f"r{s}" for s in plan.in_slots]
+            sites[bi] = (pname, in_regs, f"r{plan.iv_slot}", bi + 1)
+        return sites
+
+    def _plan_for(self, bi, bodies, labels, block_at, accounting):
+        """Build a ``_BatchPlan`` for header block ``bi`` if the loop has
+        the canonical counted shape ``[label, cmp, brfalse]`` + a single
+        body block of supported ops branching back; else None."""
+        header = bodies[bi]
+        if len(header) != 3:
+            return None
+        lab, cmp_ins, brf = header
+        if lab.op != "label" or cmp_ins.op != "cmp" or brf.op != "brfalse":
+            return None
+        kind = cmp_ins.imm["op"]
+        if kind not in ("lt", "le", "gt", "ge"):
+            return None
+        if not brf.srcs or brf.srcs[0].id != cmp_ins.dst.id:
+            return None
+        body = bodies[bi + 1]
+        if not body or body[0].op == "label":
+            return None
+        last = body[-1]
+        if last.op != "br":
+            return None
+        if block_at[labels[last.imm["label"]]] != bi:
+            return None
+
+        steps = body[:-1]
+        for ins in steps:
+            if ins.op not in _PLAN_OPS:
+                return None
+
+        writes: dict[int, list] = {}
+        for pos, ins in enumerate(steps):
+            if ins.dst is not None:
+                writes.setdefault(ins.dst.id, []).append((pos, ins))
+
+        ra, rb = cmp_ins.srcs
+        a_w = ra.id in writes
+        if a_w == (rb.id in writes):
+            return None
+        iv, bound = (ra, rb) if a_w else (rb, ra)
+        if not a_w:
+            kind = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}[kind]
+        wl = writes[iv.id]
+        if len(wl) != 1:
+            return None
+        add_pos, add_ins = wl[0]
+        if add_ins.op != "add":
+            return None
+        ivdt = add_ins.imm["type"].numpy_dtype
+        if ivdt.kind not in "iu":
+            return None
+        s0, s1 = add_ins.srcs
+        if s0.id == iv.id and s1.id != iv.id:
+            step_reg = s1
+        elif s1.id == iv.id and s0.id != iv.id:
+            step_reg = s0
+        else:
+            return None
+
+        spill_sts = {
+            ins.imm["slot"] for ins in steps if ins.op == "spill_st"
+        }
+        if step_reg.id not in writes:
+            step_src = ("reg", step_reg.id)
+        else:
+            swl = writes[step_reg.id]
+            if len(swl) != 1 or swl[0][0] > add_pos:
+                return None
+            sins = swl[0][1]
+            if sins.op == "const":
+                step_src = (
+                    "const",
+                    int(sins.imm["type"].numpy_dtype.type(
+                        sins.imm["value"]
+                    )),
+                )
+            elif (sins.op == "spill_ld"
+                  and sins.imm["slot"] not in spill_sts):
+                step_src = ("spill", sins.imm["slot"])
+            else:
+                return None
+
+        # Only the IV may be read before it is written (loop-carried
+        # registers or spill slots defeat batching).
+        seen: set[int] = set()
+        seen_spills: set = set()
+        for pos, ins in enumerate(steps):
+            for r in ins.srcs:
+                if r.id in writes and r.id not in seen and r.id != iv.id:
+                    return None
+            if ins.op == "spill_ld":
+                key = ins.imm["slot"]
+                if key in spill_sts and key not in seen_spills:
+                    return None
+            elif ins.op == "spill_st":
+                seen_spills.add(ins.imm["slot"])
+            if ins.dst is not None:
+                seen.add(ins.dst.id)
+
+        inv_ids: list[int] = []
+        for ins in steps:
+            for r in ins.srcs:
+                if r.id not in writes and r.id not in inv_ids:
+                    inv_ids.append(r.id)
+        for r in (iv, bound):
+            if r.id not in inv_ids:
+                inv_ids.append(r.id)
+        pairs = sorted((self._slot_of[rid], rid) for rid in inv_ids)
+
+        hc, hcyc = accounting[bi]
+        bc, bcyc = accounting[bi + 1]
+        return _BatchPlan(
+            body=steps,
+            iv_id=iv.id,
+            iv_slot=self._slot_of[iv.id],
+            bound_id=bound.id,
+            step_src=step_src,
+            cmp_kind=kind,
+            ivdt=ivdt,
+            in_slots=[s for s, _ in pairs],
+            in_ids=[rid for _, rid in pairs],
+            cells=self.cells,
+            arr_index=self._arr_index,
+            vs=self.vs,
+            per_iter_count=hc + bc,
+            per_iter_cycles=hcyc + bcyc,
+        )
+
+
+#: ops the batch walk understands; anything else in a loop body disables
+#: the plan at translate time (reductions, permutes, library calls, ...).
+_PLAN_OPS = (
+    _SCALAR_BIN | _SCALAR_UN | _VECTOR_BIN | _VECTOR_UN | {
+        "const", "mov", "lea", "cmp", "select", "cvt", "load", "store",
+        "spill_ld", "spill_st", "arr_overlap", "arr_aligned",
+        "vconst", "vsplat", "vaffine", "vcmp", "vselect", "vcvt",
+        "vload_a", "vload_u", "vstore_a", "vstore_u",
+    }
+)
+
+
+class _Bail(Exception):
+    """Abandon the current batch attempt (before any memory write).
+
+    ``dead=True`` marks conditions that are structural (unsupported node
+    kinds or dtype shapes) so the plan stops attempting; transient
+    conditions (trip too short, misalignment, overlap, out-of-bounds)
+    retry on the next header entry — or simply let normal per-block
+    execution reproduce the reference behaviour, traps included.
+    """
+
+    def __init__(self, dead: bool = False):
+        super().__init__()
+        self.dead = dead
+
+
+class _WalkState:
+    """Per-attempt scratch: the batch width ``k`` and a lazy iota."""
+
+    def __init__(self, k: int):
+        self.k = k
+        self._idx = None
+
+    def idx(self):
+        if self._idx is None:
+            self._idx = np.arange(self.k, dtype=np.int64)
+        return self._idx
+
+
+_I64 = np.iinfo(np.int64)
+
+
+def _cast_inv(v, T):
+    """The threaded engine's scalar operand normalization."""
+    return v if type(v) is T else T(v)
+
+
+def _mat(node, st):
+    """Materialize a node to a numpy operand (leading axis ``k`` for
+    batch nodes; invariants broadcast)."""
+    kind = node[0]
+    if kind == "i" or kind == "b":
+        return node[1]
+    _, base, coef, ndt = node
+    hi = base + (st.k - 1) * coef
+    if not (_I64.min <= base <= _I64.max and _I64.min <= hi <= _I64.max):
+        raise _Bail()
+    arr = st.idx() * coef + base
+    if ndt is not None and ndt != arr.dtype:
+        arr = arr.astype(ndt)
+    return arr
+
+
+def _aff_or_none(base, coef, dt, k):
+    """Affine node if every value fits ``dt`` exactly, else None (the
+    caller falls back to materialized batch arithmetic, which wraps
+    elementwise exactly like the sequential engines)."""
+    info = np.iinfo(dt)
+    hi = base + (k - 1) * coef
+    if info.min <= base <= info.max and info.min <= hi <= info.max:
+        return ("a", base, coef, dt)
+    return None
+
+
+def _int_operand(node, dt, k):
+    """Node as exact ``(base, coef)`` Python ints whose values survive a
+    cast to ``dt`` unchanged; None if not integer-affine under ``dt``."""
+    if node[0] == "i":
+        v = node[1]
+        if not isinstance(v, (int, np.integer)):
+            return None
+        iv = int(v)
+        if type(v) is not dt.type:
+            info = np.iinfo(dt)
+            if not (info.min <= iv <= info.max):
+                return None
+        return (iv, 0)
+    if node[0] == "a":
+        _, b, c, _ndt = node
+        info = np.iinfo(dt)
+        hi = b + (k - 1) * c
+        if info.min <= b <= info.max and info.min <= hi <= info.max:
+            return (b, c)
+        return None
+    return None
+
+
+class _BatchPlan:
+    """Batched execution of one counted streaming loop.
+
+    Built at translate time from a canonical header (``label; cmp;
+    brfalse``) plus a single body block that branches back.  At run time
+    :meth:`attempt` abstractly interprets the body once over nodes —
+
+    * ``("i", value)`` — loop-invariant value,
+    * ``("a", base, coef, dtype)`` — affine in the iteration index
+      (``dtype is None`` for Python-int address space, as after ``lea``),
+    * ``("b", array)`` — batch array with leading axis ``k``
+
+    — turning each supported MIR instruction into at most one whole-batch
+    numpy operation.  Loads slice ``k`` strided elements at once; stores
+    are deferred, cross-checked against every load/store for unsafe
+    overlap, and committed in program order only after the whole walk
+    succeeded, so a bail can never leave memory half-written.  The walk
+    covers ``trip - 1`` iterations (clipped to the remaining instruction
+    budget); the final iteration and the loop exit run through the normal
+    generated blocks, which rematerializes every live register and spill
+    slot bit-identically.
+    """
+
+    def __init__(self, *, body, iv_id, iv_slot, bound_id, step_src,
+                 cmp_kind, ivdt, in_slots, in_ids, cells, arr_index, vs,
+                 per_iter_count, per_iter_cycles):
+        self.body = body
+        self.iv_id = iv_id
+        self.iv_slot = iv_slot
+        self.step_src = step_src
+        self.cmp_kind = cmp_kind
+        self.ivdt = ivdt
+        self.ivT = ivdt.type
+        self.in_slots = in_slots
+        self.in_ids = in_ids
+        self._pos = {rid: i for i, rid in enumerate(in_ids)}
+        self.iv_pos = self._pos[iv_id]
+        self.bound_pos = self._pos[bound_id]
+        self.cells = cells
+        self.arr_index = arr_index
+        self.vs = vs
+        self.per_iter_count = per_iter_count
+        self.per_iter_cycles = per_iter_cycles
+        info = np.iinfo(ivdt)
+        self._iv_lo, self._iv_hi = int(info.min), int(info.max)
+        #: successful batches (observability + effectiveness tests).
+        self.batches = 0
+        self.dead = False
+
+    # -- entry point ----------------------------------------------------
+
+    def attempt(self, vals, sp, executed, maxi):
+        """Try one batch; ``(new_iv, d_count, d_cycles, k)`` or None.
+
+        ``vals`` holds the live values of ``in_slots`` in order; ``sp``
+        is the spill dict.  Never raises: any bail (or unexpected walk
+        error) returns None before memory was touched, and the caller
+        falls through to normal execution.
+        """
+        if self.dead:
+            return None
+        try:
+            return self._attempt(vals, sp, executed, maxi)
+        except _Bail as bail:
+            if bail.dead:
+                self.dead = True
+            return None
+        except Exception:
+            self.dead = True
+            return None
+
+    def _attempt(self, vals, sp, executed, maxi):
+        iv0 = vals[self.iv_pos]
+        bound = vals[self.bound_pos]
+        if not isinstance(iv0, (int, np.integer)):
+            raise _Bail(dead=True)
+        if not isinstance(bound, (int, np.integer)):
+            raise _Bail(dead=True)
+        iv0 = int(iv0)
+        bound = int(bound)
+        step = self._step(vals, sp)
+        trip = self._trip(iv0, bound, step)
+        k = trip - 1
+        if k > _MAX_BATCH:
+            k = _MAX_BATCH
+        if self.per_iter_count > 0:
+            room = (maxi - executed) // self.per_iter_count
+            if room < k:
+                k = room
+        if k < _MIN_BATCH:
+            raise _Bail()
+        hi = iv0 + k * step
+        if not (self._iv_lo <= iv0 <= self._iv_hi
+                and self._iv_lo <= hi <= self._iv_hi):
+            raise _Bail()
+
+        loads, stores = self._walk(vals, sp, iv0, step, k)
+        self._check_mem(loads, stores, k)
+        self._commit(stores, k)
+        self.batches += 1
+        return (
+            self.ivT(hi),
+            k * self.per_iter_count,
+            k * self.per_iter_cycles,
+            k,
+        )
+
+    def _step(self, vals, sp):
+        skind, sval = self.step_src
+        if skind == "const":
+            step = sval
+        elif skind == "reg":
+            step = vals[self._pos[sval]]
+        else:  # spill slot
+            if sval not in sp:
+                raise _Bail()
+            step = sp[sval]
+        if not isinstance(step, (int, np.integer)):
+            raise _Bail(dead=True)
+        step = int(step)
+        if step == 0:
+            raise _Bail()
+        return step
+
+    def _trip(self, iv0, bound, step):
+        """Exact number of iterations the loop will still execute."""
+        kind = self.cmp_kind
+        if kind == "lt":
+            if step < 0:
+                raise _Bail()
+            return -((iv0 - bound) // step) if iv0 < bound else 0
+        if kind == "le":
+            if step < 0:
+                raise _Bail()
+            return (bound - iv0) // step + 1 if iv0 <= bound else 0
+        if kind == "gt":
+            if step > 0:
+                raise _Bail()
+            return -((bound - iv0) // -step) if iv0 > bound else 0
+        # ge
+        if step > 0:
+            raise _Bail()
+        return (iv0 - bound) // -step + 1 if iv0 >= bound else 0
+
+    # -- abstract interpretation over the body --------------------------
+
+    def _walk(self, vals, sp, iv0, step, k):
+        env = {}
+        for rid, pos in self._pos.items():
+            env[rid] = ("i", vals[pos])
+        env[self.iv_id] = ("a", iv0, step, self.ivdt)
+        wsp: dict = {}
+        loads: list = []
+        stores: list = []
+        st = _WalkState(k)
+        for pos, ins in enumerate(self.body):
+            self._walk_ins(ins, pos, env, wsp, sp, loads, stores, st)
+        return loads, stores
+
+    def _buf(self, name):
+        buf = self.cells[self.arr_index[name]][0]
+        if buf is None:
+            raise _Bail()
+        return buf
+
+    @staticmethod
+    def _addr(node):
+        """Address operand as exact ``(base, coef)`` Python ints."""
+        if node[0] == "i":
+            v = node[1]
+            if not isinstance(v, (int, np.integer)):
+                raise _Bail(dead=True)
+            return (int(v), 0)
+        if node[0] == "a":
+            return (int(node[1]), int(node[2]))
+        raise _Bail(dead=True)
+
+    @staticmethod
+    def _vec_operand(node):
+        """Vector operand: invariant or batch value; affine makes no
+        sense lane-wise."""
+        if node[0] == "i" or node[0] == "b":
+            return node[1]
+        raise _Bail(dead=True)
+
+    def _batch_scalar(self, node, dt, st):
+        """Emulate the threaded engine's per-element ``T(a)``
+        normalization for a whole batch."""
+        T = dt.type
+        if node[0] == "i":
+            return _cast_inv(node[1], T)
+        if node[0] == "b":
+            arr = node[1]
+            if arr.dtype != dt:
+                arr = arr.astype(dt)
+            return arr
+        _, base, coef, ndt = node
+        hi = base + (st.k - 1) * coef
+        if not (_I64.min <= base <= _I64.max and _I64.min <= hi <= _I64.max):
+            raise _Bail()
+        if ndt is None:
+            # Python-int space: the sequential engines cast each value
+            # through T(), which *raises* out of range instead of
+            # wrapping — bail and let them.
+            if dt.kind in "iu":
+                info = np.iinfo(dt)
+                if not (info.min <= base <= info.max
+                        and info.min <= hi <= info.max):
+                    raise _Bail()
+            elif max(abs(base), abs(hi)) >= 2 ** 53:
+                raise _Bail()  # int->float double-rounding differences
+        arr = st.idx() * coef + base
+        if ndt is not None and ndt != arr.dtype:
+            arr = arr.astype(ndt)
+        if arr.dtype != dt:
+            arr = arr.astype(dt)
+        return arr
+
+    def _store_payload(self, node, dt, st):
+        """Payload for a batched scalar store; must commit without any
+        possibility of raising mid-commit."""
+        p = _mat(node, st)
+        if isinstance(p, (np.ndarray, np.generic)):
+            return p
+        if isinstance(p, int):
+            if dt.kind in "iu":
+                info = np.iinfo(dt)
+                if info.min <= p <= info.max:
+                    return p
+                raise _Bail()  # sequential store raises OverflowError
+            if abs(p) >= 2 ** 53:
+                raise _Bail()
+            return p
+        raise _Bail(dead=True)
+
+    def _walk_ins(self, ins, pos, env, wsp, sp, loads, stores,
+                  st):  # noqa: C901
+        op = ins.op
+        imm = ins.imm
+        k = st.k
+
+        if op == "const":
+            env[ins.dst.id] = (
+                "i", imm["type"].numpy_dtype.type(imm["value"])
+            )
+            return
+        if op == "mov":
+            env[ins.dst.id] = env[ins.srcs[0].id]
+            return
+        if op == "lea":
+            node = env[ins.srcs[0].id]
+            scale = imm.get("scale", 1)
+            offset = imm.get("offset", 0)
+            if node[0] == "i":
+                v = node[1]
+                if not isinstance(v, (int, np.integer)):
+                    raise _Bail(dead=True)
+                env[ins.dst.id] = ("i", int(v) * scale + offset)
+            elif node[0] == "a":
+                _, base, coef, _ndt = node
+                # int(...) is exact on in-range typed values; the result
+                # lives in Python-int address space (dtype None), exactly
+                # like the sequential engines' lea.
+                env[ins.dst.id] = (
+                    "a", base * scale + offset, coef * scale, None
+                )
+            else:
+                raise _Bail(dead=True)
+            return
+
+        if op in _SCALAR_BIN:
+            dt = imm["type"].numpy_dtype
+            T = dt.type
+            na = env[ins.srcs[0].id]
+            nb = env[ins.srcs[1].id]
+            if na[0] == "i" and nb[0] == "i":
+                a = _cast_inv(na[1], T)
+                b = _cast_inv(nb[1], T)
+                if op == "add":
+                    r = a + b
+                elif op == "sub":
+                    r = a - b
+                elif op == "mul":
+                    r = a * b
+                else:
+                    r = _BIN_FUNCS[op](a, b, dt)
+                env[ins.dst.id] = ("i", r)
+                return
+            if (dt.kind in "iu" and op in ("add", "sub", "mul")
+                    and na[0] != "b" and nb[0] != "b"):
+                ai = _int_operand(na, dt, k)
+                bi = _int_operand(nb, dt, k)
+                if ai is not None and bi is not None:
+                    node = None
+                    if op == "add":
+                        node = _aff_or_none(
+                            ai[0] + bi[0], ai[1] + bi[1], dt, k
+                        )
+                    elif op == "sub":
+                        node = _aff_or_none(
+                            ai[0] - bi[0], ai[1] - bi[1], dt, k
+                        )
+                    elif ai[1] == 0:
+                        node = _aff_or_none(
+                            ai[0] * bi[0], ai[0] * bi[1], dt, k
+                        )
+                    elif bi[1] == 0:
+                        node = _aff_or_none(
+                            ai[0] * bi[0], ai[1] * bi[0], dt, k
+                        )
+                    if node is not None:
+                        env[ins.dst.id] = node
+                        return
+            a = self._batch_scalar(na, dt, st)
+            b = self._batch_scalar(nb, dt, st)
+            if op == "add":
+                r = a + b
+            elif op == "sub":
+                r = a - b
+            elif op == "mul":
+                r = a * b
+            else:
+                r = _BIN_FUNCS[op](a, b, dt)
+            env[ins.dst.id] = ("b", np.asarray(r, dtype=dt))
+            return
+
+        if op in _SCALAR_UN:
+            dt = imm["type"].numpy_dtype
+            node = env[ins.srcs[0].id]
+            fn = _UN_FUNCS[op]
+            if node[0] == "i":
+                env[ins.dst.id] = (
+                    "i", fn(_cast_inv(node[1], dt.type), dt)
+                )
+                return
+            r = fn(self._batch_scalar(node, dt, st), dt)
+            env[ins.dst.id] = ("b", np.asarray(r, dtype=dt))
+            return
+
+        if op == "cmp":
+            na = env[ins.srcs[0].id]
+            nb = env[ins.srcs[1].id]
+            if na[0] == "i" and nb[0] == "i":
+                r = _CMP_OPERATORS[imm["op"]](na[1], nb[1])
+                env[ins.dst.id] = ("i", _I8_ONE if r else _I8_ZERO)
+                return
+            a = _mat(na, st)
+            b = _mat(nb, st)
+            env[ins.dst.id] = ("b", _CMP[imm["op"]](a, b).astype(np.int8))
+            return
+
+        if op == "select":
+            nc = env[ins.srcs[0].id]
+            na = env[ins.srcs[1].id]
+            nb = env[ins.srcs[2].id]
+            if nc[0] == "i":
+                env[ins.dst.id] = na if nc[1] else nb
+                return
+            a = _mat(na, st)
+            b = _mat(nb, st)
+            da = getattr(a, "dtype", None)
+            if da is None or da != getattr(b, "dtype", None):
+                raise _Bail(dead=True)
+            c = _mat(nc, st)
+            env[ins.dst.id] = ("b", np.where(c.astype(bool), a, b))
+            return
+
+        if op == "cvt":
+            node = env[ins.srcs[0].id]
+            if node[0] != "i":
+                raise _Bail(dead=True)
+            to = imm["to"]
+            T = to.numpy_dtype.type
+            v = node[1]
+            if to.is_float:
+                env[ins.dst.id] = ("i", T(v))
+            else:
+                if isinstance(v, (np.floating, float)):
+                    v = int(v)
+                env[ins.dst.id] = ("i", T(np.int64(v)))
+            return
+
+        if op == "load":
+            dt = imm["type"].numpy_dtype
+            width = dt.itemsize
+            buf = self._buf(imm["array"])
+            base, coef = self._addr(env[ins.srcs[0].id])
+            lo = buf._base + base
+            raw = buf._raw
+            if coef == 0:
+                if lo < 0 or lo + width > raw.shape[0]:
+                    raise _Bail()
+                loads.append((id(raw), lo, 0, width, pos))
+                env[ins.dst.id] = ("i", raw[lo:lo + width].view(dt)[0])
+                return
+            if coef != width:
+                raise _Bail()
+            if lo < 0 or lo + k * width > raw.shape[0]:
+                raise _Bail()
+            loads.append((id(raw), lo, coef, width, pos))
+            env[ins.dst.id] = ("b", raw[lo:lo + k * width].view(dt).copy())
+            return
+
+        if op in ("vload_a", "vload_u"):
+            dt = imm["elem"].numpy_dtype
+            nb_ = dt.itemsize * imm["lanes"]
+            buf = self._buf(imm["array"])
+            base, coef = self._addr(env[ins.srcs[0].id])
+            lo = buf._base + base
+            raw = buf._raw
+            if op == "vload_a" and (lo % self.vs != 0
+                                    or coef % self.vs != 0):
+                raise _Bail()
+            if coef == 0:
+                if lo < 0 or lo + nb_ > raw.shape[0]:
+                    raise _Bail()
+                loads.append((id(raw), lo, 0, nb_, pos))
+                env[ins.dst.id] = ("i", raw[lo:lo + nb_].view(dt).copy())
+                return
+            if coef != nb_:
+                raise _Bail()
+            if lo < 0 or lo + k * nb_ > raw.shape[0]:
+                raise _Bail()
+            loads.append((id(raw), lo, coef, nb_, pos))
+            env[ins.dst.id] = (
+                "b",
+                raw[lo:lo + k * nb_].view(dt).copy().reshape(
+                    k, imm["lanes"]
+                ),
+            )
+            return
+
+        if op == "store":
+            dt = imm["type"].numpy_dtype
+            width = dt.itemsize
+            buf = self._buf(imm["array"])
+            base, coef = self._addr(env[ins.srcs[0].id])
+            lo = buf._base + base
+            raw = buf._raw
+            if coef != width:
+                raise _Bail()
+            if lo < 0 or lo + k * width > raw.shape[0]:
+                raise _Bail()
+            payload = self._store_payload(env[ins.srcs[1].id], dt, st)
+            stores.append(
+                (id(raw), raw, lo, coef, width, pos, dt, None, payload)
+            )
+            return
+
+        if op in ("vstore_a", "vstore_u"):
+            buf = self._buf(imm["array"])
+            base, coef = self._addr(env[ins.srcs[0].id])
+            lo = buf._base + base
+            raw = buf._raw
+            node = env[ins.srcs[1].id]
+            p = _mat(node, st)
+            if not isinstance(p, np.ndarray):
+                raise _Bail(dead=True)
+            if node[0] == "b":
+                if p.ndim != 2 or p.shape[0] != k:
+                    raise _Bail(dead=True)
+                lanes = p.shape[1]
+            else:
+                if p.ndim != 1:
+                    raise _Bail(dead=True)
+                lanes = p.shape[0]
+            row_nb = p.dtype.itemsize * lanes
+            if op == "vstore_a" and (lo % self.vs != 0
+                                     or coef % self.vs != 0):
+                raise _Bail()
+            if coef != row_nb:
+                raise _Bail()
+            if lo < 0 or lo + k * row_nb > raw.shape[0]:
+                raise _Bail()
+            stores.append(
+                (id(raw), raw, lo, coef, row_nb, pos, p.dtype, lanes, p)
+            )
+            return
+
+        if op == "spill_ld":
+            key = imm["slot"]
+            if key in wsp:
+                env[ins.dst.id] = wsp[key]
+            elif key in sp:
+                env[ins.dst.id] = ("i", sp[key])
+            else:
+                raise _Bail()
+            return
+        if op == "spill_st":
+            wsp[imm["slot"]] = env[ins.srcs[0].id]
+            return
+
+        if op == "arr_overlap":
+            b1 = self._buf(imm["a1"])
+            b2 = self._buf(imm["a2"])
+            env[ins.dst.id] = (
+                "i", _I8_ONE if b1._raw is b2._raw else _I8_ZERO
+            )
+            return
+        if op == "arr_aligned":
+            buf = self._buf(imm["array"])
+            env[ins.dst.id] = (
+                "i",
+                _I8_ONE if buf.address_of(0) % imm["align"] == 0
+                else _I8_ZERO,
+            )
+            return
+
+        if op == "vconst":
+            dt = imm["elem"].numpy_dtype
+            lanes = imm["lanes"]
+            values = imm["values"]
+            reps = -(-lanes // len(values))
+            v = np.tile(np.asarray(values, dtype=dt), reps)[:lanes].copy()
+            env[ins.dst.id] = ("i", v)
+            return
+        if op == "vsplat":
+            dt = imm["elem"].numpy_dtype
+            lanes = imm["lanes"]
+            node = env[ins.srcs[0].id]
+            if node[0] == "i":
+                env[ins.dst.id] = (
+                    "i", np.full(lanes, node[1], dtype=dt)
+                )
+                return
+            col = self._batch_scalar(node, dt, st)
+            env[ins.dst.id] = (
+                "b", np.repeat(col, lanes).reshape(k, lanes)
+            )
+            return
+        if op == "vaffine":
+            na = env[ins.srcs[0].id]
+            nb = env[ins.srcs[1].id]
+            if na[0] != "i" or nb[0] != "i":
+                raise _Bail(dead=True)
+            dt = imm["elem"].numpy_dtype
+            T = dt.type
+            idx = np.arange(imm["lanes"], dtype=dt)
+            env[ins.dst.id] = (
+                "i", (T(na[1]) + idx * T(nb[1])).astype(dt)
+            )
+            return
+
+        if op in _VECTOR_BIN:
+            dt = imm["elem"].numpy_dtype
+            canon = _canon(op)
+            na = env[ins.srcs[0].id]
+            nb = env[ins.srcs[1].id]
+            a = self._vec_operand(na)
+            b = self._vec_operand(nb)
+            if canon == "add":
+                r = a + b
+            elif canon == "sub":
+                r = a - b
+            elif canon == "mul":
+                r = a * b
+            else:
+                r = _BIN_FUNCS[canon](a, b, dt)
+            r = np.asarray(r, dtype=dt)
+            kind = "i" if na[0] == "i" and nb[0] == "i" else "b"
+            env[ins.dst.id] = (kind, r)
+            return
+        if op in _VECTOR_UN:
+            dt = imm["elem"].numpy_dtype
+            node = env[ins.srcs[0].id]
+            a = self._vec_operand(node)
+            r = np.asarray(_UN_FUNCS[_canon(op)](a, dt), dtype=dt)
+            env[ins.dst.id] = (node[0], r)
+            return
+        if op == "vcmp":
+            na = env[ins.srcs[0].id]
+            nb = env[ins.srcs[1].id]
+            a = self._vec_operand(na)
+            b = self._vec_operand(nb)
+            r = _CMP[imm["op"]](a, b).astype(np.int8)
+            kind = "i" if na[0] == "i" and nb[0] == "i" else "b"
+            env[ins.dst.id] = (kind, r)
+            return
+        if op == "vselect":
+            nc = env[ins.srcs[0].id]
+            na = env[ins.srcs[1].id]
+            nb = env[ins.srcs[2].id]
+            c = self._vec_operand(nc)
+            a = self._vec_operand(na)
+            b = self._vec_operand(nb)
+            inv = nc[0] == "i" and na[0] == "i" and nb[0] == "i"
+            if not inv:
+                da = getattr(a, "dtype", None)
+                if da is None or da != getattr(b, "dtype", None):
+                    raise _Bail(dead=True)
+            r = np.where(c.astype(bool), a, b)
+            env[ins.dst.id] = ("i" if inv else "b", r)
+            return
+        if op == "vcvt":
+            to = imm["to"]
+            dt = to.numpy_dtype
+            node = env[ins.srcs[0].id]
+            a = self._vec_operand(node)
+            r = a.astype(dt) if to.is_float else np.trunc(a).astype(dt)
+            env[ins.dst.id] = (node[0], r)
+            return
+
+        raise _Bail(dead=True)
+
+    # -- memory safety and commit ---------------------------------------
+
+    @staticmethod
+    def _check_mem(loads, stores, k):
+        """Reject any load/store or store/store overlap the batch would
+        reorder.
+
+        The batch runs each instruction for *all* iterations at once, so
+        a store is safe against a load only if the load happened earlier
+        in the body **and** covers exactly the same strided interval
+        (classic load-modify-store); two stores only if they are disjoint
+        or write exactly the same interval (program order decides).
+        Aliasing is keyed on the underlying raw byte array (``id()`` at
+        run time only — nothing here reaches the generated source).
+        """
+        for si, s_ in enumerate(stores):
+            sid, _, slo, scoef, sw, spos = s_[:6]
+            s_end = slo + (k - 1) * scoef + sw
+            for lid, llo, lcoef, lw, lpos in loads:
+                if lid != sid:
+                    continue
+                l_end = llo + (k - 1) * lcoef + lw
+                if l_end <= slo or llo >= s_end:
+                    continue
+                if lpos < spos and (llo, lcoef, lw) == (slo, scoef, sw):
+                    continue
+                raise _Bail()
+            for s2 in stores[si + 1:]:
+                if s2[0] != sid:
+                    continue
+                s2_end = s2[2] + (k - 1) * s2[3] + s2[4]
+                if s2_end <= slo or s2[2] >= s_end:
+                    continue
+                if (s2[2], s2[3], s2[4]) == (slo, scoef, sw):
+                    continue
+                raise _Bail()
+
+    @staticmethod
+    def _commit(stores, k):
+        """Apply deferred stores in program order (post-walk, so a bail
+        can never leave memory half-written)."""
+        for _, raw, lo, coef, _w, _pos, dt, lanes, payload in stores:
+            view = raw[lo:lo + k * coef].view(dt)
+            if lanes is None:
+                view[:] = payload
+            else:
+                view.reshape(k, lanes)[:] = payload
+
+
+class CodegenCode:
+    """An :class:`MFunction` translated to compiled Python source.
+
+    ``source`` holds the deterministic generated module text (the
+    cross-process determinism test hashes it); :meth:`run` mirrors
+    :meth:`ThreadedCode.run <repro.machine.threaded.ThreadedCode.run>`
+    argument-for-argument.  Like the threaded engine, an instance is
+    stateful (array cells) and not safe for concurrent ``run`` calls.
+    """
+
+    def __init__(self, mfunc: MFunction, target: Target,
+                 count_ops: bool = False):
+        self.mfunc = mfunc
+        self.target = target
+        self.count_ops = count_ops
+        self._cells: list = [[None] for _ in mfunc.arrays]
+        emitter = _Emitter(mfunc, target, count_ops, self._cells)
+        self.source, ns = emitter.build()
+        self.plans = emitter.plans
+        self._block_op_counts = emitter.block_op_counts
+        self._param_convs = [
+            (name, type_.numpy_dtype.type)
+            for name, type_, _reg in mfunc.scalar_params
+        ]
+        code = compile(
+            self.source, f"<codegen:{mfunc.name}:{target.name}>", "exec"
+        )
+        exec(code, ns)
+        self._fn = ns["_kernel"]
+
+    def run(self, scalar_args=None, arrays=None,
+            max_instructions: int = 500_000_000) -> RunResult:
+        """Execute; bit-identical to :meth:`repro.machine.vm.VM.run`."""
+        scalar_args = scalar_args or {}
+        arrays = arrays or {}
+        mfunc = self.mfunc
+        bufs = []
+        for i, slot in enumerate(mfunc.arrays):
+            buf = arrays.get(slot.name)
+            if buf is None:
+                raise VMError(
+                    f"array parameter {slot.name!r} not bound"
+                )
+            self._cells[i][0] = buf
+            bufs.append(buf)
+        vals = []
+        for name, conv in self._param_convs:
+            if name not in scalar_args:
+                raise VMError(f"scalar parameter {name!r} not bound")
+            vals.append(conv(scalar_args[name]))
+        out = self._fn(max_instructions, {}, *vals, *bufs)
+        if not self.count_ops:
+            return RunResult(out[0], out[1], out[2], {})
+        counts: Counter[str] = Counter()
+        for entered, oc in zip(out[3], self._block_op_counts):
+            if entered:
+                for opname, c in oc.items():
+                    counts[opname] += c * entered
+        return RunResult(out[0], out[1], out[2], dict(counts))
+
+
+def translate(mfunc: MFunction, target: Target,
+              count_ops: bool = False) -> CodegenCode:
+    """Translate ``mfunc`` into compiled Python source for ``target``.
+
+    The result is reusable across runs (and caches per ``(engine,
+    count_ops)`` under :meth:`CompiledKernel.translated
+    <repro.jit.compilers.CompiledKernel.translated>`).
+    """
+    return CodegenCode(mfunc, target, count_ops)

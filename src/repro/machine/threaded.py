@@ -55,13 +55,13 @@ import numpy as np
 
 from .. import faults
 from ..ir.types import ScalarType
-from ..targets.base import X87_FP_EXTRA, Target
+from ..targets.base import Target
+from .blocks import TERMINATORS, instr_cost, partition
 from .memory import GUARD_BYTES, ArrayBuffer
 from .mir import MFunction, MInstr
 from .vm import (
     _BIN_FUNCS,
     _CMP,
-    _FP_SCALAR_OPS,
     _SCALAR_BIN,
     _SCALAR_UN,
     _UN_FUNCS,
@@ -85,8 +85,6 @@ _CMP_OPERATORS = {
 #: immutable, so reusing them is indistinguishable from fresh boxing).
 _I8_ZERO = np.int8(0)
 _I8_ONE = np.int8(1)
-
-_TERMINATORS = ("br", "brtrue", "brfalse", "ret")
 
 
 def _const_next(k: int):
@@ -157,17 +155,10 @@ class ThreadedCode:
         n = len(instrs)
         labels = mfunc.labels()
 
-        # Basic-block partition: leaders are the entry, every label, and
-        # every instruction following a terminator.
-        leaders = {0}
-        for i, ins in enumerate(instrs):
-            if ins.op == "label":
-                leaders.add(i)
-            elif ins.op in _TERMINATORS:
-                leaders.add(i + 1)
-        leaders.discard(n)
-        starts = sorted(leaders)
-        block_at = {s: bi for bi, s in enumerate(starts)}
+        # Basic-block partition and per-instruction costs are shared with
+        # the codegen engine (repro.machine.blocks), which is what keeps
+        # the two engines' accounting identical by construction.
+        starts, block_at = partition(instrs)
 
         cost = self.target.cost
         x87 = bool(mfunc.meta.get("x87"))
@@ -182,17 +173,12 @@ class ThreadedCode:
             nxt = None
             for j, ins in enumerate(body):
                 op = ins.op
-                c = cost.get(op)
-                if x87 and op in _FP_SCALAR_OPS:
-                    t = ins.imm.get("type")
-                    if isinstance(t, ScalarType) and t.is_float:
-                        c += X87_FP_EXTRA
-                cycles += c
+                cycles += instr_cost(ins, cost, x87)
                 op_counts[op] += 1
                 if op == "label":
                     replay.append(None)
                     continue
-                if op in _TERMINATORS:
+                if op in TERMINATORS:
                     # The terminator is always the last instruction of the
                     # block by construction.
                     assert j == len(body) - 1

@@ -1,13 +1,14 @@
-"""Differential tests: threaded engine vs reference interpreter.
+"""Differential tests: every registered engine vs the reference VM.
 
-The threaded engine (:mod:`repro.machine.threaded`) pre-decodes an
-:class:`MFunction` into closure lists with block-level cycle aggregation.
-Its contract is *bit-identical observable behavior* to :class:`repro.machine.VM`:
-same return value, same cycle count, same executed-instruction count, same
-per-op counts, same memory effects — and the same :class:`VMError` (message
-included) on every trap (misalignment, unbound parameters, instruction
-budget).  These tests enforce that contract over the full kernel suite, all
-six targets, and all three online compilers.
+The contract of every engine in :mod:`repro.machine.registry` is
+*bit-identical observable behavior* to :class:`repro.machine.VM`: same
+return value, same cycle count, same executed-instruction count, same
+per-op counts, same memory effects — and the same :class:`VMError`
+(message included) on every trap (misalignment, unbound parameters,
+instruction budget).  These tests enforce that contract over the full
+kernel suite, all six targets, and all three online compilers — and they
+are parametrized over the registry, so a future fourth engine inherits
+the whole gate just by registering itself.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ import pytest
 from repro.harness.flows import FlowRunner
 from repro.kernels import all_kernels, get_kernel
 from repro.machine import VM, VMError
+from repro.machine.registry import engine_names, get_engine
 from repro.machine.threaded import ThreadedVM, translate
 from repro.targets import TARGETS, get_target
 
@@ -27,6 +29,14 @@ from repro.targets import TARGETS, get_target
 COMPILER_FLOWS = ("split_vec_mono", "split_vec_gcc4cli", "native_vec")
 
 ALL_TARGETS = tuple(TARGETS)
+
+#: every registered engine except the oracle it is compared against.
+CANDIDATE_ENGINES = tuple(n for n in engine_names() if n != "reference")
+
+
+def _engine_run(ck, engine, scalar_args, bufs, **kw):
+    """Run ``ck`` on a registered engine (the registry dispatch path)."""
+    return get_engine(engine).run(ck, scalar_args, bufs, **kw)
 
 
 def _diff_size(kernel) -> int | None:
@@ -43,16 +53,19 @@ def diff_runner() -> FlowRunner:
     return FlowRunner()
 
 
-def _run_both(runner, inst, flow, target_name):
-    """Run one compiled kernel through both engines; returns the two
-    RunResults plus the two buffer sets (for memory comparison)."""
+def _run_both(runner, inst, flow, target_name, engine="threaded"):
+    """Run one compiled kernel through the reference VM and ``engine``;
+    returns the two RunResults plus the two buffer sets (for memory
+    comparison)."""
     target = get_target(target_name)
     ck = runner.compiled(inst, flow, target)
     ref_bufs = runner.make_buffers(inst)
     ref = VM(target).run(ck.mfunc, inst.scalar_args, ref_bufs, count_ops=True)
-    thr_bufs = runner.make_buffers(inst)
-    thr = ck.threaded(count_ops=True).run(inst.scalar_args, thr_bufs)
-    return ref, thr, ref_bufs, thr_bufs
+    eng_bufs = runner.make_buffers(inst)
+    eng = _engine_run(
+        ck, engine, inst.scalar_args, eng_bufs, count_ops=True
+    )
+    return ref, eng, ref_bufs, eng_bufs
 
 
 def _assert_identical(ref, thr, ref_bufs, thr_bufs, what):
@@ -69,40 +82,45 @@ def _assert_identical(ref, thr, ref_bufs, thr_bufs, what):
         assert np.array_equal(a, b), f"{what}: array {name} diverged"
 
 
+@pytest.mark.parametrize("engine", CANDIDATE_ENGINES)
 @pytest.mark.parametrize("kernel", [k.name for k in all_kernels()])
-def test_engines_bit_identical(kernel, diff_runner):
-    """Full matrix: every kernel x target x compiler, both engines."""
+def test_engines_bit_identical(kernel, engine, diff_runner):
+    """Full matrix: every kernel x target x compiler, every engine."""
     k = get_kernel(kernel)
     inst = k.instantiate(_diff_size(k))
     for target_name in ALL_TARGETS:
         for flow in COMPILER_FLOWS:
-            ref, thr, rb, tb = _run_both(diff_runner, inst, flow, target_name)
+            ref, eng, rb, eb = _run_both(
+                diff_runner, inst, flow, target_name, engine
+            )
             _assert_identical(
-                ref, thr, rb, tb, f"{kernel}/{flow}/{target_name}"
+                ref, eng, rb, eb, f"{kernel}/{flow}/{target_name}/{engine}"
             )
 
 
-def test_scalar_flows_bit_identical(diff_runner):
+@pytest.mark.parametrize("engine", CANDIDATE_ENGINES)
+def test_scalar_flows_bit_identical(engine, diff_runner):
     """The scalar flows (A and the gcc4cli scalar baseline) agree too."""
     k = get_kernel("saxpy_fp")
     inst = k.instantiate(32)
     for flow in ("split_scalar_mono", "split_scalar_gcc4cli",
                  "native_scalar"):
         for target_name in ("sse", "scalar"):
-            ref, thr, rb, tb = _run_both(diff_runner, inst, flow, target_name)
-            _assert_identical(ref, thr, rb, tb, f"{flow}/{target_name}")
+            ref, eng, rb, eb = _run_both(
+                diff_runner, inst, flow, target_name, engine
+            )
+            _assert_identical(ref, eng, rb, eb, f"{flow}/{target_name}")
 
 
 def test_flow_runner_engines_agree(diff_runner):
-    """FlowRunner(engine=...) is figure-invisible: identical FlowResults."""
-    threaded = FlowRunner(engine="threaded")
-    reference = FlowRunner(engine="reference")
+    """FlowRunner(engine=...) is figure-invisible: identical FlowResults
+    for every registered engine."""
+    runners = [FlowRunner(engine=name) for name in engine_names()]
     inst = get_kernel("sfir_fp").instantiate(32)
     for flow in COMPILER_FLOWS:
-        a = threaded.run(inst, flow, "sse")
-        b = reference.run(inst, flow, "sse")
-        assert a.cycles == b.cycles
-        assert a.checked and b.checked
+        results = [r.run(inst, flow, "sse") for r in runners]
+        assert len({res.cycles for res in results}) == 1
+        assert all(res.checked for res in results)
 
 
 def test_flow_runner_rejects_unknown_engine():
@@ -122,9 +140,10 @@ def _trap_of(fn):
     return None, None
 
 
-def test_trap_parity_misaligned_vector_load(diff_runner):
+@pytest.mark.parametrize("engine", CANDIDATE_ENGINES)
+def test_trap_parity_misaligned_vector_load(engine, diff_runner):
     """Native code assumes runtime-aligned arrays; feeding it misaligned
-    buffers must trap *identically* in both engines."""
+    buffers must trap *identically* in every engine."""
     misaligned = FlowRunner(base_misalign=4, check=False)
     inst = get_kernel("saxpy_fp").instantiate(32)
     target = get_target("sse")
@@ -135,27 +154,31 @@ def test_trap_parity_misaligned_vector_load(diff_runner):
             ck.mfunc, inst.scalar_args, misaligned.make_buffers(inst)
         )
     )
-    thr_trap = _trap_of(
-        lambda: ck.threaded().run(
-            inst.scalar_args, misaligned.make_buffers(inst)
+    eng_trap = _trap_of(
+        lambda: _engine_run(
+            ck, engine, inst.scalar_args, misaligned.make_buffers(inst)
         )
     )
     assert ref_trap[0] is VMError, "expected the reference VM to trap"
-    assert ref_trap == thr_trap
+    assert ref_trap == eng_trap
     assert "misaligned address" in ref_trap[1]
 
 
-def test_trap_parity_unbound_array(diff_runner):
+@pytest.mark.parametrize("engine", CANDIDATE_ENGINES)
+def test_trap_parity_unbound_array(engine, diff_runner):
     inst = get_kernel("saxpy_fp").instantiate(32)
     target = get_target("sse")
     ck = diff_runner.compiled(inst, "split_vec_gcc4cli", target)
     ref_trap = _trap_of(lambda: VM(target).run(ck.mfunc, inst.scalar_args, {}))
-    thr_trap = _trap_of(lambda: ck.threaded().run(inst.scalar_args, {}))
-    assert ref_trap == thr_trap
+    eng_trap = _trap_of(
+        lambda: _engine_run(ck, engine, inst.scalar_args, {})
+    )
+    assert ref_trap == eng_trap
     assert ref_trap[0] is VMError and "not bound" in ref_trap[1]
 
 
-def test_trap_parity_unbound_scalar(diff_runner):
+@pytest.mark.parametrize("engine", CANDIDATE_ENGINES)
+def test_trap_parity_unbound_scalar(engine, diff_runner):
     # find a kernel whose compiled form takes scalar parameters
     for name in ("saxpy_fp", "sfir_fp", "dscal_fp"):
         inst = get_kernel(name).instantiate(32)
@@ -165,20 +188,23 @@ def test_trap_parity_unbound_scalar(diff_runner):
             continue
         bufs = diff_runner.make_buffers(inst)
         ref_trap = _trap_of(lambda: VM(target).run(ck.mfunc, {}, bufs))
-        thr_trap = _trap_of(
-            lambda: ck.threaded().run({}, diff_runner.make_buffers(inst))
+        eng_trap = _trap_of(
+            lambda: _engine_run(
+                ck, engine, {}, diff_runner.make_buffers(inst)
+            )
         )
-        assert ref_trap == thr_trap
+        assert ref_trap == eng_trap
         assert ref_trap[0] is VMError
         assert "scalar parameter" in ref_trap[1]
         return
     pytest.skip("no kernel with scalar parameters found")
 
 
-def test_trap_parity_instruction_budget(diff_runner):
+@pytest.mark.parametrize("engine", CANDIDATE_ENGINES)
+def test_trap_parity_instruction_budget(engine, diff_runner):
     """The budget trap must fire after *exactly* the same instruction in
-    both engines — including when the overrun lands mid-block, which the
-    threaded engine handles by replaying the block per-instruction."""
+    every engine — including when the overrun lands mid-block, which the
+    translating engines handle by replaying the block per-instruction."""
     inst = get_kernel("saxpy_fp").instantiate(32)
     target = get_target("sse")
     ck = diff_runner.compiled(inst, "split_vec_gcc4cli", target)
@@ -192,21 +218,23 @@ def test_trap_parity_instruction_budget(diff_runner):
                 ck.mfunc, inst.scalar_args, diff_runner.make_buffers(inst)
             )
         )
-        thr_trap = _trap_of(
-            lambda: ck.threaded().run(
-                inst.scalar_args, diff_runner.make_buffers(inst),
+        eng_trap = _trap_of(
+            lambda: _engine_run(
+                ck, engine, inst.scalar_args,
+                diff_runner.make_buffers(inst),
                 max_instructions=budget,
             )
         )
         assert ref_trap[0] is VMError, f"budget {budget}/{n} did not trap"
         assert "budget exceeded" in ref_trap[1]
-        assert ref_trap == thr_trap, f"budget {budget}/{n}"
+        assert ref_trap == eng_trap, f"budget {budget}/{n}"
 
 
+@pytest.mark.parametrize("engine", CANDIDATE_ENGINES)
 @pytest.mark.parametrize("budget", [10, 60, 10_000])
-def test_trap_parity_budget_vs_alignment_race(budget, diff_runner):
+def test_trap_parity_budget_vs_alignment_race(budget, engine, diff_runner):
     """With a misaligned buffer *and* a budget, whichever trap fires first
-    must be the same one (same message) in both engines."""
+    must be the same one (same message) in every engine."""
     misaligned = FlowRunner(base_misalign=4, check=False)
     inst = get_kernel("saxpy_fp").instantiate(32)
     target = get_target("sse")
@@ -216,14 +244,14 @@ def test_trap_parity_budget_vs_alignment_race(budget, diff_runner):
             ck.mfunc, inst.scalar_args, misaligned.make_buffers(inst)
         )
     )
-    thr_trap = _trap_of(
-        lambda: ck.threaded().run(
-            inst.scalar_args, misaligned.make_buffers(inst),
+    eng_trap = _trap_of(
+        lambda: _engine_run(
+            ck, engine, inst.scalar_args, misaligned.make_buffers(inst),
             max_instructions=budget,
         )
     )
     assert ref_trap[0] is VMError
-    assert ref_trap == thr_trap
+    assert ref_trap == eng_trap
 
 
 # -- translation caching ------------------------------------------------------
@@ -265,10 +293,11 @@ def test_translate_is_reusable(diff_runner):
 # -- injected-fault trap parity (repro.faults) --------------------------------
 
 
+@pytest.mark.parametrize("engine", CANDIDATE_ENGINES)
 @pytest.mark.parametrize("after", [1, 3, 9, 20])
-def test_trap_parity_injected_memory_fault(after, diff_runner):
+def test_trap_parity_injected_memory_fault(after, engine, diff_runner):
     """A seeded MemFault must fire on the identical access — same type,
-    same message — in both engines (both observe the same access stream)."""
+    same message — in every engine (all observe the same access stream)."""
     from repro import faults
 
     inst = get_kernel("saxpy_fp").instantiate(32)
@@ -283,12 +312,13 @@ def test_trap_parity_injected_memory_fault(after, diff_runner):
             )
         )
     with faults.injected(plan):
-        thr_trap = _trap_of(
-            lambda: ck.threaded().run(
-                inst.scalar_args, diff_runner.make_buffers(inst)
+        eng_trap = _trap_of(
+            lambda: _engine_run(
+                ck, engine, inst.scalar_args,
+                diff_runner.make_buffers(inst)
             )
         )
-    assert ref_trap == thr_trap
+    assert ref_trap == eng_trap
     assert ref_trap[1] is not None
     assert f"access #{after}" in ref_trap[1]
 
