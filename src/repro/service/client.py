@@ -63,12 +63,22 @@ from .wire import (
     encode_frame,
 )
 
-__all__ = ["GatewayClient", "parse_address", "shard_index"]
+__all__ = ["GatewayClient", "parse_address", "request_shape", "shard_index"]
 
 #: the gateway's default flow — mirrored here so the client-side shard
 #: hash agrees with the server-side request defaults.
 DEFAULT_FLOW = "split_vec_gcc4cli"
 DEFAULT_TARGET = "sse"
+
+#: the client-visible request shape: exactly the fields that determine
+#: the canonical bytecode and hence the service-side CacheKey.
+_SHAPE_FIELDS = (
+    ("kernel", ""),
+    ("flow", DEFAULT_FLOW),
+    ("target", DEFAULT_TARGET),
+    ("size", None),
+    ("force_scalar", False),
+)
 
 
 def parse_address(addr) -> tuple[str, int]:
@@ -82,29 +92,34 @@ def parse_address(addr) -> tuple[str, int]:
     return (str(host), int(port))
 
 
-def shard_index(payload: dict, n_slots: int) -> int:
-    """Deterministic replica placement for a compile payload.
+def request_shape(payload: dict) -> str:
+    """The canonical shape string of a compile payload.
 
     The request *shape* — (kernel, flow, target, size, force_scalar) —
     deterministically yields the canonical bytecode and therefore the
-    service-side :class:`~repro.service.cache.CacheKey`, so hashing the
-    shape places every request for one cache key on one replica without
-    the client ever computing bytecode.  CRC-32 over a canonical shape
-    string keeps placement stable across processes and Python versions
-    (``hash()`` is salted; it would reshuffle the shard map per run).
+    service-side :class:`~repro.service.cache.CacheKey`.  The same
+    string drives both client-side placement (:func:`shard_index`) and
+    the gateway's pre-admission batcher, so two requests that batch
+    into one flight group are exactly two requests that would shard to
+    one replica and coalesce on one single-flight key.
+    """
+    return "\x00".join(
+        str(payload.get(k, d)) for k, d in _SHAPE_FIELDS
+    )
+
+
+def shard_index(payload: dict, n_slots: int) -> int:
+    """Deterministic replica placement for a compile payload.
+
+    Hashing the shape (:func:`request_shape`) places every request for
+    one cache key on one replica without the client ever computing
+    bytecode.  CRC-32 over the canonical shape string keeps placement
+    stable across processes and Python versions (``hash()`` is salted;
+    it would reshuffle the shard map per run).
     """
     if n_slots <= 1:
         return 0
-    shape = "\x00".join(
-        str(payload.get(k, d))
-        for k, d in (
-            ("kernel", ""),
-            ("flow", DEFAULT_FLOW),
-            ("target", DEFAULT_TARGET),
-            ("size", None),
-            ("force_scalar", False),
-        )
-    )
+    shape = request_shape(payload)
     return (zlib.crc32(shape.encode("utf-8")) & 0xFFFFFFFF) % n_slots
 
 
@@ -160,6 +175,14 @@ class GatewayClient:
         self.attempts = 0
         self.failovers = 0
         self.wire_errors = 0
+        #: reused keep-alive connections found dead before any response
+        #: byte arrived (the peer idle-reclaimed them between calls) and
+        #: transparently resent on a fresh connection.
+        self.stale_reconnects = 0
+        #: responses that were answered out of a gateway-side flight
+        #: group (payload carries ``batched`` >= 2) — the client-visible
+        #: evidence that a stampede was merged before admission.
+        self.batched_responses = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -191,6 +214,22 @@ class GatewayClient:
             return [None if a is None else parse_address(a) for a in slots]
         return list(self.addresses)
 
+    def _prune_stale(self, slots: list) -> None:
+        """Drop per-address state for addresses no longer in the topology.
+
+        Under a supervisor every restart lands a replica on a new
+        ephemeral port, so ``_socks`` / ``_failed_at`` entries keyed by
+        the old ``(host, port)`` would otherwise accumulate forever —
+        one dead cached socket and one cooldown stamp per restart.
+        """
+        current = {a for a in slots if a is not None}
+        for addr in list(self._socks):
+            if addr not in current:
+                self._drop_connection(addr)
+        for addr in list(self._failed_at):
+            if addr not in current:
+                self._failed_at.pop(addr, None)
+
     def _call_order(self, payload: dict) -> list:
         """The re-derived per-call replica ordering.
 
@@ -201,6 +240,7 @@ class GatewayClient:
         never first in line while presumed dead.
         """
         slots = self._slots()
+        self._prune_stale(slots)
         live = [a for a in slots if a is not None]
         if not live:
             raise NetworkError("connect", "no live gateway replicas")
@@ -218,13 +258,18 @@ class GatewayClient:
         order = ([first] if first is not None else []) + rest
         # Cooldown demotion: a recently dead shard owner must not eat a
         # connect failure on every call for the whole cooldown window.
+        # Demote even when *every* live replica is fresh-dead — ordering
+        # the least-recently-failed first still beats re-hammering the
+        # replica that died most recently.
         now = time.monotonic()
         fresh_dead = [
             a for a in order
             if now - self._failed_at.get(a, -1e9) < self.dead_cooldown_s
         ]
-        if fresh_dead and len(fresh_dead) < len(order):
-            order = [a for a in order if a not in fresh_dead] + fresh_dead
+        if fresh_dead:
+            order = [a for a in order if a not in fresh_dead] + sorted(
+                fresh_dead, key=lambda a: self._failed_at[a]
+            )
         return order
 
     # -- request API ----------------------------------------------------------
@@ -242,6 +287,7 @@ class GatewayClient:
         last_exc: Exception | None = None
         last_resp: dict | None = None
         prev_addr = None
+        tried: set = set()
         for attempt in range(1, self.retries + 2):
             if deadline.expired():
                 break
@@ -256,7 +302,18 @@ class GatewayClient:
                 last_exc, last_resp = exc, None
                 self._backoff(attempt, deadline)
                 continue
-            addr = order[(attempt - 1) % len(order)]
+            # Prefer replicas this call has not touched yet: the order
+            # is re-jittered every attempt, so indexing it by attempt
+            # number could land on the replica that just failed while
+            # untried live replicas sit idle.  Only when every replica
+            # has been tried does the call re-walk the (cooldown-
+            # demoted) ordering.
+            untried = [a for a in order if a not in tried]
+            if untried:
+                addr = untried[0]
+            else:
+                addr = order[(attempt - 1) % len(order)]
+            tried.add(addr)
             if prev_addr is not None and addr != prev_addr:
                 self.failovers += 1
             prev_addr = addr
@@ -269,6 +326,8 @@ class GatewayClient:
                 last_exc, last_resp = exc, None
             else:
                 self._failed_at.pop(addr, None)
+                if int(resp.get("batched", 1) or 1) > 1:
+                    self.batched_responses += 1
                 if not self._should_failover(resp):
                     return resp
                 last_exc, last_resp = None, resp
@@ -366,6 +425,30 @@ class GatewayClient:
         return sock
 
     def _attempt(self, addr, payload: dict, deadline: Deadline) -> dict:
+        reused = addr in self._socks
+        try:
+            return self._attempt_once(addr, payload, deadline)
+        except NetworkError as exc:
+            # Stale keep-alive: the gateway idle-reclaims quiet
+            # connections with a clean FIN, so a *reused* socket that
+            # sees EOF before a single response byte arrived says
+            # nothing about the request — resend once on a fresh
+            # connection (the standard keep-alive retry), instead of
+            # burning a failover attempt on a healthy replica.  An RST
+            # or a partial frame is a real wire failure and still
+            # surfaces classified (the retry loop owns those).
+            stale = (
+                reused
+                and exc.kind == "truncated"
+                and getattr(exc, "received", 1) == 0
+                and getattr(exc, "phase", "") == "frame header"
+            )
+            if not stale or deadline.expired():
+                raise
+            self.stale_reconnects += 1
+            return self._attempt_once(addr, payload, deadline)
+
+    def _attempt_once(self, addr, payload: dict, deadline: Deadline) -> dict:
         timeout = self._attempt_timeout(deadline)
         sock = self._connect(addr, timeout)
         sock.settimeout(timeout)
@@ -403,10 +486,16 @@ class GatewayClient:
         while len(buf) < n:
             chunk = sock.recv(n - len(buf))
             if not chunk:
-                raise NetworkError(
+                exc = NetworkError(
                     "truncated",
                     f"connection closed {len(buf)} bytes into a "
                     f"{n}-byte {what} (torn response)",
                 )
+                # Structured context for the stale keep-alive retry: a
+                # reused connection closed at byte 0 of the *header* is
+                # a dead cached socket, not a torn response.
+                exc.received = len(buf)
+                exc.phase = what
+                raise exc
             buf.extend(chunk)
         return bytes(buf)

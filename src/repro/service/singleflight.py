@@ -23,9 +23,43 @@ Both primitives are deliberately tiny, stdlib-only, and deterministic
 
 from __future__ import annotations
 
+import copy
 import threading
 
 __all__ = ["Flight", "SingleFlight", "KeyedLocks"]
+
+
+def _follower_copy(exc: BaseException) -> BaseException:
+    """A per-follower clone of the leader's exception.
+
+    Re-raising one shared exception object from N follower threads is a
+    data race on the object itself: every ``raise`` rewrites
+    ``__traceback__`` (and ``__context__`` when raised inside an
+    ``except`` block), so concurrent followers corrupt each other's
+    tracebacks.  Each follower therefore raises its own shallow copy,
+    chained (``__cause__``) to the original so the leader's traceback
+    stays reachable — and untouched.
+
+    Exception classes with custom ``__init__`` signatures (e.g.
+    ``OverloadError(depth, limit)``) can't be rebuilt via
+    ``type(exc)(*exc.args)``; allocate without ``__init__`` and copy
+    ``args`` plus instance state instead.
+    """
+    cls = type(exc)
+    try:
+        clone = cls.__new__(cls)
+        clone.args = exc.args
+        state = getattr(exc, "__dict__", None)
+        if state:
+            clone.__dict__.update(state)
+    except Exception:
+        try:
+            clone = copy.copy(exc)
+        except Exception:
+            return exc  # last resort: the shared object beats no error
+    clone.__cause__ = exc
+    clone.__suppress_context__ = True
+    return clone
 
 
 class Flight:
@@ -62,10 +96,13 @@ class Flight:
     def outcome(self):
         """The settled value, re-raising the leader's exception.
 
-        Only call after :meth:`wait` returned True.
+        Only call after :meth:`wait` returned True.  Each caller gets
+        its *own* copy of the leader's exception (chained to the
+        original via ``__cause__``): concurrent re-raises of one shared
+        object would race on its ``__traceback__``.
         """
         if self.exc is not None:
-            raise self.exc
+            raise _follower_copy(self.exc)
         return self.value
 
 

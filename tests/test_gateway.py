@@ -500,6 +500,113 @@ def test_client_raises_network_error_when_all_replicas_dead():
         c.close()
 
 
+def _dead_address():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    addr = probe.getsockname()
+    probe.close()
+    return addr
+
+
+def test_client_prunes_state_for_departed_replicas(tmp_path):
+    """Provider-backed fleets restart replicas onto new ports; the
+    client must drop cached sockets and failure timestamps for slots no
+    longer in the provider's answer, or both dicts grow without bound
+    across supervisor restarts."""
+    from repro.service.client import shard_index
+
+    svc = KernelService(cache_dir=str(tmp_path / "cache"), seed=0,
+                        workers=2, queue_limit=16)
+    gw_old = ThreadedGateway(svc, max_inflight=8, drain_grace_s=0.0)
+    gw_new = ThreadedGateway(svc, max_inflight=8, drain_grace_s=0.0)
+    dead_addr = _dead_address()
+    payload = _compile_payload()
+    # Generation 1: the shard owner is dead, the other slot live — one
+    # call populates both _failed_at (the dead slot) and _socks (the
+    # live one it failed over to).
+    gen1 = [None, None]
+    gen1[shard_index(payload, 2)] = dead_addr
+    gen1[gen1.index(None)] = gw_old.address
+    slots = {"current": gen1}
+    c = GatewayClient(lambda: slots["current"], retries=2,
+                      backoff_base=0.001, backoff_cap=0.01, seed=0)
+    try:
+        assert c.compile_run("saxpy_fp", size=SIZE)["status"] == "ok"
+        assert dead_addr in c._failed_at
+        assert gw_old.address in c._socks
+        cached = c._socks[gw_old.address]
+        # Generation 2: the supervisor restarted everything onto a new
+        # port; neither generation-1 slot survives.
+        slots["current"] = [gw_new.address]
+        assert c.compile_run("saxpy_fp", size=SIZE)["status"] == "ok"
+        assert dead_addr not in c._failed_at
+        assert gw_old.address not in c._socks
+        assert cached.fileno() == -1, "stale cached socket left open"
+        assert set(c._socks) <= {gw_new.address}
+    finally:
+        c.close()
+        gw_new.close()
+        gw_old.close()
+        svc.close()
+
+
+def test_client_does_not_hammer_dead_shard_owner(stack):
+    """One call, one contact: while untried replicas remain, the retry
+    loop must prefer them over re-dialling the replica that just
+    failed — re-jittering the same order each attempt used to hammer
+    the dead shard owner while a live sibling sat idle."""
+    from repro.service.client import shard_index
+
+    _, gw = stack
+    dead_addr = _dead_address()
+    payload = _compile_payload()
+    slots = [None, None]
+    slots[shard_index(payload, 2)] = dead_addr
+    slots[slots.index(None)] = gw.address
+    c = GatewayClient(slots, retries=3,
+                      backoff_base=0.001, backoff_cap=0.01, seed=0)
+    contacted = []
+    orig = c._attempt
+
+    def spy(addr, payload, deadline):
+        contacted.append(addr)
+        return orig(addr, payload, deadline)
+
+    c._attempt = spy
+    try:
+        assert c.compile_run("saxpy_fp", size=SIZE)["status"] == "ok"
+        assert contacted[0] == dead_addr, "shard owner not tried first"
+        assert contacted.count(dead_addr) == 1, (
+            "dead shard owner re-dialled while a live replica was untried"
+        )
+        assert gw.address in contacted
+    finally:
+        c.close()
+
+
+def test_client_transparently_resends_on_stale_keepalive(tmp_path):
+    """A reused keep-alive connection the gateway idle-reclaimed
+    between calls yields a clean EOF before any response byte; the
+    client resends once on a fresh connection instead of surfacing a
+    NetworkError — even with retries=0."""
+    svc = KernelService(cache_dir=str(tmp_path / "cache"), seed=0,
+                        workers=2, queue_limit=16)
+    gw = ThreadedGateway(svc, max_inflight=8, idle_timeout_s=0.2,
+                         drain_grace_s=0.0)
+    c = GatewayClient([gw.address], retries=0, seed=0)
+    try:
+        assert c.compile_run("saxpy_fp", size=SIZE)["status"] == "ok"
+        assert gw.address in c._socks
+        time.sleep(0.7)  # let the gateway reclaim the idle connection
+        assert c.compile_run("saxpy_fp", size=SIZE)["status"] == "ok"
+        assert c.stale_reconnects == 1
+        assert c.wire_errors == 0, "stale keep-alive surfaced as a failure"
+    finally:
+        c.close()
+        gw.close()
+        svc.close()
+
+
 # -- farm teardown regression -------------------------------------------------
 
 

@@ -139,6 +139,53 @@ def test_flight_wait_timeout():
     assert f.wait(0.01) and f.outcome() == 1
 
 
+def test_flight_outcome_raises_a_per_follower_copy():
+    """Concurrent re-raises must not share one exception object: every
+    ``raise`` rewrites ``__traceback__``, so N followers re-raising the
+    leader's exception race on (and corrupt) each other's tracebacks.
+    Each follower gets its own copy, chained to the original."""
+    from repro.service.admission import OverloadError
+
+    f = Flight()
+    original = OverloadError(7, 4)  # custom __init__: args != (depth, limit)
+    try:
+        raise original
+    except OverloadError as exc:
+        f.reject(exc)
+    leader_tb = original.__traceback__
+
+    caught = []
+    errors = []
+
+    def follower():
+        try:
+            f.outcome()
+        except OverloadError as exc:
+            caught.append(exc)
+        except Exception as exc:  # noqa: BLE001 - test census
+            errors.append(exc)
+
+    threads = [threading.Thread(target=follower) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    assert len(caught) == 8
+    # Distinct objects per follower, none of them the shared original.
+    assert len({id(e) for e in caught}) == 8
+    assert all(e is not original for e in caught)
+    # Class, args, and custom attributes survive the copy; the chain
+    # points back at the leader's exception.
+    for e in caught:
+        assert type(e) is OverloadError
+        assert e.args == original.args
+        assert (e.depth, e.limit) == (7, 4)
+        assert e.__cause__ is original
+    # The leader's traceback was never clobbered by a follower re-raise.
+    assert original.__traceback__ is leader_tb
+
+
 def test_keyed_locks_distinct_keys_do_not_block():
     locks = KeyedLocks()
     a, b = locks.get(("x",)), locks.get(("y",))
